@@ -1,0 +1,82 @@
+// Command subdexd serves the SDE engine over HTTP — the backend the paper's
+// HTML5 UI (Figure 5) talks to. Sessions are created and driven with JSON:
+//
+//	subdexd -generate yelp -scale 0.05 -addr :8080
+//
+//	curl -X POST localhost:8080/sessions -d '{"mode":"rp"}'
+//	curl localhost:8080/sessions/1/step
+//	curl -X POST localhost:8080/sessions/1/apply -d '{"recommendation":1}'
+//	curl -X POST localhost:8080/sessions/1/apply -d '{"predicate":"items.cuisine = '\''japanese'\''"}'
+//	curl localhost:8080/sessions/1/summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"subdex"
+	"subdex/internal/dataset"
+	"subdex/internal/gen"
+	"subdex/internal/server"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "CSV directory written by datagen")
+		generate = flag.String("generate", "", "generate a synthetic dataset: movielens | yelp | hotels")
+		scale    = flag.Float64("scale", 0.05, "scale for -generate")
+		seed     = flag.Int64("seed", 1, "seed for -generate")
+		addr     = flag.String("addr", ":8080", "listen address")
+		k        = flag.Int("k", 3, "rating maps per step")
+		o        = flag.Int("o", 3, "recommendations per step")
+		l        = flag.Int("l", 3, "pruning-diversity factor")
+	)
+	flag.Parse()
+
+	db, err := loadDB(*data, *generate, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subdexd:", err)
+		os.Exit(1)
+	}
+	cfg := subdex.DefaultConfig()
+	cfg.K, cfg.O, cfg.L = *k, *o, *l
+
+	srv, err := server.New(db, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subdexd:", err)
+		os.Exit(1)
+	}
+	s := db.Stats()
+	fmt.Printf("subdexd: serving %s (%d reviewers, %d items, %d ratings) on %s\n",
+		s.Name, s.NumReviewers, s.NumItems, s.NumRatings, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "subdexd:", err)
+		os.Exit(1)
+	}
+}
+
+func loadDB(data, generate string, scale float64, seed int64) (*subdex.DB, error) {
+	switch {
+	case data != "":
+		kinds := map[string]dataset.Kind{
+			"genre": dataset.MultiValued, "cuisine": dataset.MultiValued,
+			"amenity": dataset.MultiValued,
+		}
+		return subdex.LoadDir(data, "loaded", kinds)
+	case generate != "":
+		cfg := gen.Config{Seed: seed, Scale: scale}
+		switch generate {
+		case "movielens":
+			return gen.Movielens(cfg)
+		case "yelp":
+			return gen.Yelp(cfg)
+		case "hotels":
+			return gen.Hotels(cfg)
+		}
+		return nil, fmt.Errorf("unknown dataset %q", generate)
+	default:
+		return nil, fmt.Errorf("one of -data or -generate is required")
+	}
+}

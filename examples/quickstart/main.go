@@ -1,0 +1,57 @@
+// Quickstart: generate a small subjective database, open a guided
+// exploration session, inspect the displayed rating maps, and follow a
+// recommendation — the smallest end-to-end use of the subdex API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subdex"
+)
+
+func main() {
+	// A Yelp-shaped database at 2% of the paper's size: ~3k reviewers, 12
+	// restaurants, ~4k rating records on 4 dimensions.
+	db, err := subdex.GenerateYelp(subdex.GenConfig{Scale: 0.02, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.Stats()
+	fmt.Printf("database: %d reviewers, %d items, %d ratings, %d rating dimensions\n",
+		s.NumReviewers, s.NumItems, s.NumRatings, s.NumDimensions)
+
+	ex, err := subdex.NewExplorer(db, subdex.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := subdex.NewSession(ex, subdex.RecommendationPowered, subdex.Everything())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: the whole database, summarized as 3 useful + diverse rating maps.
+	step, err := sess.Step()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstep 1 — selection %s (%d records)\n", step.Desc, step.GroupSize)
+	for i, rm := range step.Maps {
+		fmt.Printf("\nrating map %d (utility %.3f):\n%s", i+1, step.Utilities[i], ex.RenderMap(rm))
+	}
+	fmt.Println("\nrecommended next steps:")
+	for i, rec := range step.Recommendations {
+		fmt.Printf("  %d. (%.3f) %s\n", i+1, rec.Utility, rec.Op)
+	}
+
+	// Follow the top recommendation and look again.
+	if err := sess.ApplyRecommendation(0); err != nil {
+		log.Fatal(err)
+	}
+	step2, err := sess.Step()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstep 2 — selection %s (%d records), top map:\n%s",
+		step2.Desc, step2.GroupSize, ex.RenderMap(step2.Maps[0]))
+}

@@ -1,0 +1,66 @@
+// Restaurants: Mary's three-step exploration from the paper's introduction
+// (Figure 1), scripted against the synthetic Yelp-shaped database. Mary is a
+// social scientist studying New York restaurants: she starts from all
+// reviewers, drills into young adults, then into young female adults, using
+// the advanced screen's SQL predicates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subdex"
+)
+
+func main() {
+	db, err := subdex.GenerateYelp(subdex.GenConfig{Scale: 0.05, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := subdex.NewExplorer(db, subdex.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := subdex.NewSession(ex, subdex.UserDriven, subdex.Everything())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(title string) {
+		step, err := sess.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n===== %s =====\nselection: %s (%d records, %d reviewers, %d restaurants)\n",
+			title, step.Desc, step.GroupSize, step.NumMatched.Reviewers, step.NumMatched.Items)
+		for i, rm := range step.Maps {
+			fmt.Printf("\n[map %d | utility %.3f | diversity of set %.3f]\n%s",
+				i+1, step.Utilities[i], step.AvgDiversity, ex.RenderMap(rm))
+		}
+	}
+
+	jump := func(predicate string) {
+		d, err := subdex.Parse(ex, predicate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sess.ApplyDescription(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Step I: overall view of all reviewers and restaurants.
+	show("Step I — all reviewers")
+
+	// Step II: drill into young reviewers (Mary is a young adult).
+	jump("reviewers.age_group = 'young'")
+	show("Step II — young reviewers")
+
+	// Step III: drill further into young female reviewers.
+	jump("reviewers.age_group = 'young' AND reviewers.gender = 'female'")
+	show("Step III — young female reviewers")
+
+	sum := sess.Summarize()
+	fmt.Printf("\nexploration summary: %d steps, %d distinct attributes shown, total utility %.2f\n",
+		sum.Steps, sum.DistinctAttributes, sum.TotalUtility)
+}

@@ -1,0 +1,3 @@
+module subdex
+
+go 1.22

@@ -1,0 +1,241 @@
+package baselines
+
+import (
+	"testing"
+
+	"subdex/internal/dataset"
+	"subdex/internal/gen"
+	"subdex/internal/query"
+)
+
+func baseDB(t testing.TB) *dataset.DB {
+	t.Helper()
+	db, err := gen.Yelp(gen.Config{Seed: 4, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func allRecords(db *dataset.DB) []int32 {
+	rs := make([]int32, db.Ratings.Len())
+	for i := range rs {
+		rs[i] = int32(i)
+	}
+	return rs
+}
+
+func TestCoverageIndex(t *testing.T) {
+	db := baseDB(t)
+	recs := allRecords(db)
+	ci := buildCoverageIndex(db, query.Description{}, recs)
+	if len(ci.pairs) == 0 {
+		t.Fatal("no pairs discovered")
+	}
+	// The most-covering single pair must cover at most all records and at
+	// least |records| / (max cardinality) records.
+	top := ci.topPairs(1)
+	if ci.count[top[0]] <= 0 || ci.count[top[0]] > len(recs) {
+		t.Fatalf("top pair count %d out of range", ci.count[top[0]])
+	}
+	// Bound attributes are excluded from the index.
+	bound := query.MustDescription(query.Selector{Side: query.ReviewerSide, Attr: "gender", Value: "male"})
+	ci2 := buildCoverageIndex(db, bound, recs)
+	for _, p := range ci2.pairs {
+		if p.side == query.ReviewerSide && p.attr == "gender" {
+			t.Fatal("bound attribute leaked into candidate pairs")
+		}
+	}
+}
+
+func TestCoverageConjunction(t *testing.T) {
+	db := baseDB(t)
+	recs := allRecords(db)
+	ci := buildCoverageIndex(db, query.Description{}, recs)
+	singles := ci.topPairs(5)
+	if len(singles) < 2 {
+		t.Skip("not enough pairs")
+	}
+	a, b := singles[0], singles[1]
+	both := ci.coveredBy([]int32{a, b})
+	onlyA := ci.coveredBy([]int32{a})
+	if len(both) > len(onlyA) {
+		t.Fatal("conjunction cannot cover more than a conjunct")
+	}
+}
+
+func TestSDDOnlyDrillsDown(t *testing.T) {
+	db := baseDB(t)
+	sdd := &SmartDrillDown{}
+	cur := query.MustDescription(query.Selector{Side: query.ReviewerSide, Attr: "gender", Value: "female"})
+	qe, err := query.NewEngine(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := qe.Materialize(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := sdd.Recommend(db, cur, g.Records, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("SDD returned no rules")
+	}
+	for _, op := range ops {
+		if op.Kind != query.Filter {
+			t.Errorf("SDD produced a %v operation; it can only drill down", op.Kind)
+		}
+		// Target must be a strict superset of cur's selectors.
+		for _, s := range cur.Selectors() {
+			if !op.Target.Has(s) {
+				t.Errorf("SDD dropped selector %s", s)
+			}
+		}
+		if op.Target.Len() <= cur.Len() {
+			t.Error("SDD target must add selectors")
+		}
+	}
+}
+
+func TestSDDRulesAreDeduplicated(t *testing.T) {
+	db := baseDB(t)
+	sdd := &SmartDrillDown{}
+	ops, err := sdd.Recommend(db, query.Description{}, allRecords(db), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		k := op.Target.Key()
+		if seen[k] {
+			t.Fatalf("duplicate rule %s", op.Target)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSDDMarginalCoverage(t *testing.T) {
+	// The greedy must not pick two rules covering the same records when a
+	// disjoint alternative exists: verified indirectly by checking the
+	// union coverage strictly grows across the rule list.
+	db := baseDB(t)
+	sdd := &SmartDrillDown{}
+	recs := allRecords(db)
+	ops, err := sdd.Recommend(db, query.Description{}, recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) < 2 {
+		t.Skip("not enough rules")
+	}
+	qe, _ := query.NewEngine(db)
+	covered := map[int32]bool{}
+	prev := 0
+	for _, op := range ops {
+		g, err := qe.Materialize(op.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range g.Records {
+			covered[r] = true
+		}
+		if len(covered) <= prev {
+			t.Fatalf("rule %s added no marginal coverage", op)
+		}
+		prev = len(covered)
+	}
+}
+
+func TestQagviewDiversityConstraint(t *testing.T) {
+	db := baseDB(t)
+	qv := &Qagview{}
+	ops, err := qv.Recommend(db, query.Description{}, allRecords(db), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("Qagview returned nothing")
+	}
+	// All clusters must be drill-downs and pairwise differ in ≥ D
+	// attribute-values.
+	for i := range ops {
+		if ops[i].Kind != query.Filter {
+			t.Errorf("Qagview produced %v; it can only drill down", ops[i].Kind)
+		}
+		for j := i + 1; j < len(ops); j++ {
+			if d := ops[i].Target.EditDistance(ops[j].Target); d < 2 {
+				t.Errorf("clusters %d and %d differ in %d pairs, want ≥ 2", i, j, d)
+			}
+		}
+	}
+}
+
+func TestQagviewCoverage(t *testing.T) {
+	db := baseDB(t)
+	qv := &Qagview{}
+	recs := allRecords(db)
+	ops, err := qv.Recommend(db, query.Description{}, recs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, _ := query.NewEngine(db)
+	covered := map[int32]bool{}
+	for _, op := range ops {
+		g, err := qe.Materialize(op.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range g.Records {
+			covered[r] = true
+		}
+	}
+	// With 6 clusters of top-covering patterns, coverage should reach the
+	// |g_R|/2 threshold on this data.
+	if len(covered) < len(recs)/2 {
+		t.Errorf("summary covers %d of %d records, want ≥ half", len(covered), len(recs))
+	}
+}
+
+func TestPatternDistance(t *testing.T) {
+	if d := patternDistance([]int32{1, 2}, []int32{1, 2}); d != 0 {
+		t.Errorf("identical patterns distance = %d", d)
+	}
+	if d := patternDistance([]int32{1, 2}, []int32{1, 3}); d != 2 {
+		t.Errorf("one swap distance = %d, want 2", d)
+	}
+	if d := patternDistance([]int32{1}, []int32{1, 2}); d != 1 {
+		t.Errorf("superset distance = %d, want 1", d)
+	}
+	if d := patternDistance(nil, []int32{5}); d != 1 {
+		t.Errorf("empty vs single = %d, want 1", d)
+	}
+}
+
+func TestEmptyGroupBehaviour(t *testing.T) {
+	db := baseDB(t)
+	sdd := &SmartDrillDown{}
+	qv := &Qagview{}
+	if ops, err := sdd.Recommend(db, query.Description{}, nil, 3); err != nil || len(ops) != 0 {
+		t.Errorf("SDD on empty group: ops=%v err=%v", ops, err)
+	}
+	if ops, err := qv.Recommend(db, query.Description{}, nil, 3); err != nil || len(ops) != 0 {
+		t.Errorf("Qagview on empty group: ops=%v err=%v", ops, err)
+	}
+}
+
+func TestSortRulesBySpecificity(t *testing.T) {
+	rules := []rule{
+		{pairIDs: []int32{1}, covered: []int32{1, 2, 3}},
+		{pairIDs: []int32{1, 2}, covered: []int32{1}},
+		{pairIDs: []int32{3}, covered: []int32{1, 2}},
+	}
+	sortRulesBySpecificity(rules)
+	if len(rules[0].pairIDs) != 2 {
+		t.Error("longest rule must sort first")
+	}
+	if len(rules[1].covered) != 3 {
+		t.Error("ties break by coverage")
+	}
+}

@@ -1,0 +1,165 @@
+// Package baselines implements the two state-of-the-art next-action
+// recommenders SubDEx is compared against in Table 4 (§5.1):
+//
+//   - Smart Drill-Down (Joglekar, Garcia-Molina & Parameswaran [35]): an
+//     interactive operator returning a k-size rule list of "interesting"
+//     parts of a table, scored by coverage, specificity, and diversity.
+//   - Qagview (Wen, Zhu, Roy & Yang [58]): a k-cluster diverse summary of a
+//     query result, covering at least a threshold of the records with
+//     clusters that differ pairwise in at least D attribute-values.
+//
+// Following the paper's setup, the reviewer, item and rating tables are
+// joined, so every rule/cluster is a simultaneous selection over reviewer
+// and item attributes — and, crucially, both baselines can only produce
+// drill-down (subset) operations, never roll-ups, which is what Table 4
+// exposes.
+package baselines
+
+import (
+	"sort"
+
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+)
+
+// pair is one (side, attribute, value) cell of the joined table.
+type pair struct {
+	side  query.Side
+	attr  string
+	value dataset.ValueID
+}
+
+// coverageIndex counts, over the records of a rating group, how many
+// records carry each attribute-value pair of the joined table, and keeps
+// per-record pair lists for marginal-coverage computation.
+type coverageIndex struct {
+	db      *dataset.DB
+	records []int32
+	// pairsOf[i] lists the pair ids of record i (indexes into pairs).
+	pairsOf [][]int32
+	pairs   []pair
+	count   []int
+	pairID  map[pair]int32
+}
+
+// buildCoverageIndex scans the group once, materializing the pair universe.
+// Attributes already bound by the current description are excluded: both
+// baselines extend the current selection.
+func buildCoverageIndex(db *dataset.DB, cur query.Description, records []int32) *coverageIndex {
+	ci := &coverageIndex{db: db, records: records, pairID: make(map[pair]int32)}
+	ci.pairsOf = make([][]int32, len(records))
+
+	add := func(rec int, p pair) {
+		id, ok := ci.pairID[p]
+		if !ok {
+			id = int32(len(ci.pairs))
+			ci.pairID[p] = id
+			ci.pairs = append(ci.pairs, p)
+			ci.count = append(ci.count, 0)
+		}
+		ci.count[id]++
+		ci.pairsOf[rec] = append(ci.pairsOf[rec], id)
+	}
+
+	scan := func(side query.Side, t *dataset.EntityTable, rowOf []int32) {
+		for a := 0; a < t.Schema.Len(); a++ {
+			name := t.Schema.At(a).Name
+			if cur.BindsAttr(side, name) {
+				continue
+			}
+			kind := t.Schema.At(a).Kind
+			for ri, r := range records {
+				row := int(rowOf[r])
+				switch kind {
+				case dataset.Atomic:
+					if v := t.AtomicValue(a, row); v != dataset.MissingValue {
+						add(ri, pair{side, name, v})
+					}
+				case dataset.MultiValued:
+					for _, v := range t.MultiValues(a, row) {
+						add(ri, pair{side, name, v})
+					}
+				}
+			}
+		}
+	}
+	scan(query.ReviewerSide, db.Reviewers, db.Ratings.Reviewer)
+	scan(query.ItemSide, db.Items, db.Ratings.Item)
+	return ci
+}
+
+// topPairs returns the n most-covering pair ids.
+func (ci *coverageIndex) topPairs(n int) []int32 {
+	ids := make([]int32, len(ci.pairs))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ci.count[ids[a]] > ci.count[ids[b]] })
+	if n > 0 && len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}
+
+// valueLabel resolves a pair's value string.
+func (ci *coverageIndex) valueLabel(p pair) string {
+	var t *dataset.EntityTable
+	if p.side == query.ReviewerSide {
+		t = ci.db.Reviewers
+	} else {
+		t = ci.db.Items
+	}
+	return t.DictByName(p.attr).Value(p.value)
+}
+
+// selector converts a pair into a query selector.
+func (ci *coverageIndex) selector(p pair) query.Selector {
+	return query.Selector{Side: p.side, Attr: p.attr, Value: ci.valueLabel(p)}
+}
+
+// rule is a conjunction of pairs with its covered record set.
+type rule struct {
+	pairIDs []int32
+	covered []int32 // record indexes (into ci.records)
+}
+
+// coveredBy computes the record indexes covered by a pair conjunction.
+func (ci *coverageIndex) coveredBy(pairIDs []int32) []int32 {
+	want := make(map[int32]bool, len(pairIDs))
+	for _, id := range pairIDs {
+		want[id] = true
+	}
+	var out []int32
+	for ri, ps := range ci.pairsOf {
+		n := 0
+		for _, id := range ps {
+			if want[id] {
+				n++
+			}
+		}
+		if n == len(pairIDs) {
+			out = append(out, int32(ri))
+		}
+	}
+	return out
+}
+
+// operationFor converts a rule into a drill-down operation on cur. Rules
+// whose pairs collide with cur's bound attributes return ok=false.
+func (ci *coverageIndex) operationFor(cur query.Description, pairIDs []int32) (query.Operation, bool) {
+	target := cur
+	var added *query.Selector
+	for _, id := range pairIDs {
+		sel := ci.selector(ci.pairs[id])
+		t, err := target.With(sel)
+		if err != nil {
+			return query.Operation{}, false
+		}
+		target = t
+		if added == nil {
+			s := sel
+			added = &s
+		}
+	}
+	return query.Operation{Kind: query.Filter, Target: target, Added: added}, true
+}

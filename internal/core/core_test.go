@@ -1,0 +1,378 @@
+package core
+
+import (
+	"testing"
+
+	"subdex/internal/dataset"
+	"subdex/internal/gen"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+func coreDB(t testing.TB) *dataset.DB {
+	t.Helper()
+	db, err := gen.Yelp(gen.Config{Seed: 3, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func coreExplorer(t testing.TB) *Explorer {
+	t.Helper()
+	ex, err := NewExplorer(coreDB(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestNewExplorerRequiresFrozen(t *testing.T) {
+	db := coreDB(t)
+	raw := dataset.NewDB("unfrozen", db.Reviewers, db.Items, db.Ratings)
+	if _, err := NewExplorer(raw, DefaultConfig()); err == nil {
+		t.Fatal("unfrozen database must be rejected")
+	}
+}
+
+func TestNewExplorerDisablesDWForSingleDimension(t *testing.T) {
+	db, err := gen.Movielens(gen.Config{Seed: 3, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExplorer(db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Cfg.Engine.Utility.DisableDimensionWeights {
+		t.Fatal("single-dimension database must disable dimension weights")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	ex, err := NewExplorer(coreDB(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Cfg.K != 3 || ex.Cfg.O != 3 || ex.Cfg.L != 3 {
+		t.Errorf("zero config must normalize to Table 3 defaults: %+v", ex.Cfg)
+	}
+	if ex.Cfg.Distance == nil {
+		t.Error("distance must default")
+	}
+}
+
+func TestRMSetBasics(t *testing.T) {
+	ex := coreExplorer(t)
+	seen := ratingmap.NewSeenSet()
+	res, err := ex.RMSet(query.Description{}, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Maps) != ex.Cfg.K {
+		t.Fatalf("maps = %d, want %d", len(res.Maps), ex.Cfg.K)
+	}
+	if len(res.Utilities) != len(res.Maps) {
+		t.Fatal("utilities misaligned")
+	}
+	if res.GroupSize != ex.DB.Ratings.Len() {
+		t.Errorf("root group size = %d, want %d", res.GroupSize, ex.DB.Ratings.Len())
+	}
+	// Seen must NOT be mutated by RMSet (callers commit explicitly).
+	if seen.Total() != 0 {
+		t.Error("RMSet must not commit maps to the seen set")
+	}
+	// Distinct maps.
+	keys := map[ratingmap.Key]bool{}
+	for _, rm := range res.Maps {
+		if keys[rm.Key] {
+			t.Errorf("duplicate map %v selected", rm.Key)
+		}
+		keys[rm.Key] = true
+	}
+}
+
+func TestRMSetValidatesDescription(t *testing.T) {
+	ex := coreExplorer(t)
+	bad := query.MustDescription(query.Selector{Side: query.ReviewerSide, Attr: "nope", Value: "x"})
+	if _, err := ex.RMSet(bad, ratingmap.NewSeenSet()); err == nil {
+		t.Fatal("invalid description must be rejected")
+	}
+}
+
+func TestOperationUtilityRanksAnomalies(t *testing.T) {
+	// Plant an irregular group; the op drilling into it must outrank a
+	// random neutral op. This is the signal Problem 2 depends on.
+	db := coreDB(t)
+	groups, err := gen.PlantIrregularGroups(db, 77, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExplorer(db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := ratingmap.NewSeenSet()
+	var anomalous query.Description
+	for _, g := range groups {
+		if g.Side == query.ItemSide {
+			anomalous = query.MustDescription(g.Selectors[0])
+		}
+	}
+	if anomalous.IsEmpty() {
+		t.Skip("no item-side group planted")
+	}
+	uAnom, err := ex.OperationUtility(query.Operation{Target: anomalous}, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uAnom <= 0 {
+		t.Fatalf("anomalous op utility = %v, want positive", uAnom)
+	}
+}
+
+func TestOperationUtilityEmptyGroup(t *testing.T) {
+	ex := coreExplorer(t)
+	// Conjunction chosen to be empty: two different cities can't both hold
+	// on the reviewer side… instead pick a selective pair that yields 0.
+	d := query.MustDescription(
+		query.Selector{Side: query.ReviewerSide, Attr: "membership", Value: "elite"},
+		query.Selector{Side: query.ReviewerSide, Attr: "gender", Value: "unspecified"},
+		query.Selector{Side: query.ReviewerSide, Attr: "occupation", Value: "chef"},
+		query.Selector{Side: query.ReviewerSide, Attr: "age_group", Value: "teen"},
+	)
+	u, err := ex.OperationUtility(query.Operation{Target: d}, ratingmap.NewSeenSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0 {
+		t.Errorf("utility must be non-negative, got %v", u)
+	}
+}
+
+func TestSessionStepAndRecommendations(t *testing.T) {
+	ex := coreExplorer(t)
+	sess, err := NewSession(ex, RecommendationPowered, query.Description{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) == 0 || len(res.Recommendations) > ex.Cfg.O {
+		t.Fatalf("recommendations = %d, want 1..%d", len(res.Recommendations), ex.Cfg.O)
+	}
+	for i := 1; i < len(res.Recommendations); i++ {
+		if res.Recommendations[i].Utility > res.Recommendations[i-1].Utility+1e-9 {
+			t.Fatal("recommendations not sorted by utility")
+		}
+	}
+	// The step must have committed its maps to the history.
+	if sess.Seen().Total() != len(res.Maps) {
+		t.Errorf("seen = %d, want %d", sess.Seen().Total(), len(res.Maps))
+	}
+	if err := sess.ApplyRecommendation(0); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Current().IsEmpty() {
+		t.Error("applying a recommendation must change the description")
+	}
+}
+
+func TestSessionUserDrivenHasNoRecommendations(t *testing.T) {
+	ex := coreExplorer(t)
+	sess, _ := NewSession(ex, UserDriven, query.Description{})
+	res, err := sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) != 0 {
+		t.Fatal("User-Driven steps must not compute recommendations")
+	}
+	if err := sess.ApplyRecommendation(0); err == nil {
+		t.Fatal("ApplyRecommendation without recommendations must fail")
+	}
+}
+
+func TestSessionAuto(t *testing.T) {
+	ex := coreExplorer(t)
+	sess, _ := NewSession(ex, FullyAutomated, query.Description{})
+	steps, err := sess.Auto(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 || len(steps) > 3 {
+		t.Fatalf("auto steps = %d", len(steps))
+	}
+	if sess.NumSteps() != len(steps) {
+		t.Error("session step log inconsistent")
+	}
+	// Descriptions should change along the path.
+	if len(steps) >= 2 && steps[0].Desc.Equal(steps[1].Desc) {
+		t.Error("auto path did not move")
+	}
+	// User-Driven sessions reject Auto.
+	ud, _ := NewSession(ex, UserDriven, query.Description{})
+	if _, err := ud.Auto(2); err == nil {
+		t.Fatal("Auto must require a guided mode")
+	}
+}
+
+func TestSessionSummarize(t *testing.T) {
+	ex := coreExplorer(t)
+	sess, _ := NewSession(ex, FullyAutomated, query.Description{})
+	if _, err := sess.Auto(2); err != nil {
+		t.Fatal(err)
+	}
+	sum := sess.Summarize()
+	if sum.Steps != sess.NumSteps() {
+		t.Errorf("Steps = %d, want %d", sum.Steps, sess.NumSteps())
+	}
+	if sum.TotalUtility <= 0 {
+		t.Error("total utility must be positive")
+	}
+	if sum.DistinctAttributes == 0 {
+		t.Error("distinct attributes must be counted")
+	}
+	total := 0
+	for _, n := range sum.MapsPerDimension {
+		total += n
+	}
+	if total != sum.Steps*ex.Cfg.K {
+		t.Errorf("maps per dimension total = %d, want %d", total, sum.Steps*ex.Cfg.K)
+	}
+}
+
+func TestCandidateOpsDeduplicate(t *testing.T) {
+	ex := coreExplorer(t)
+	seen := ratingmap.NewSeenSet()
+	res, err := ex.RMSet(query.Description{}, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := RecommendationBuilder{Ex: ex}
+	ops, err := rb.CandidateOps(query.Description{}, res.Maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := map[string]bool{}
+	for _, op := range ops {
+		k := op.Target.Key()
+		if targets[k] {
+			t.Fatalf("duplicate candidate target %s", op.Target)
+		}
+		targets[k] = true
+		if op.Target.Equal(query.Description{}) {
+			t.Fatal("the current description must not be a candidate")
+		}
+	}
+}
+
+func TestCandidateOpsIncludeRollUps(t *testing.T) {
+	ex := coreExplorer(t)
+	cur := query.MustDescription(
+		query.Selector{Side: query.ReviewerSide, Attr: "gender", Value: "female"})
+	rb := RecommendationBuilder{Ex: ex}
+	ops, err := rb.CandidateOps(cur, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasRollUp := false
+	for _, op := range ops {
+		if op.Kind == query.Generalize {
+			hasRollUp = true
+		}
+	}
+	if !hasRollUp {
+		t.Fatal("candidates must include roll-ups — the Table 4 differentiator")
+	}
+}
+
+func TestRecommendRespectsMaxCandidates(t *testing.T) {
+	db := coreDB(t)
+	cfg := DefaultConfig()
+	cfg.Limits.MaxCandidates = 5
+	ex, err := NewExplorer(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := RecommendationBuilder{Ex: ex}
+	recs, durs, err := rb.Recommend(query.Description{}, nil, ratingmap.NewSeenSet(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(durs) > 5 {
+		t.Fatalf("evaluated %d candidates, cap is 5", len(durs))
+	}
+	if len(recs) > 3 {
+		t.Fatalf("recs = %d, want ≤ 3", len(recs))
+	}
+}
+
+func TestRecommendParallelMatchesSequential(t *testing.T) {
+	db := coreDB(t)
+	cfgSeq := DefaultConfig()
+	cfgSeq.Limits.MaxCandidates = 30
+	cfgPar := cfgSeq
+	cfgPar.RecWorkers = 4
+
+	exSeq, _ := NewExplorer(db, cfgSeq)
+	exPar, _ := NewExplorer(db, cfgPar)
+	rbSeq := RecommendationBuilder{Ex: exSeq}
+	rbPar := RecommendationBuilder{Ex: exPar}
+
+	a, _, err := rbSeq.Recommend(query.Description{}, nil, ratingmap.NewSeenSet(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := rbPar.Recommend(query.Description{}, nil, ratingmap.NewSeenSet(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Op.Target.Key() != b[i].Op.Target.Key() {
+			t.Fatalf("rec %d differs: %s vs %s", i, a[i].Op.Target, b[i].Op.Target)
+		}
+	}
+}
+
+func TestRenderMapNil(t *testing.T) {
+	ex := coreExplorer(t)
+	if got := ex.RenderMap(nil); got == "" {
+		t.Error("nil map must render a placeholder")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		UserDriven: "User-Driven", RecommendationPowered: "Recommendation-Powered",
+		FullyAutomated: "Fully-Automated",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestExplainMap(t *testing.T) {
+	ex := coreExplorer(t)
+	seen := ratingmap.NewSeenSet()
+	res, err := ex.RMSet(query.Description{}, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, winner := ex.ExplainMap(res.Maps[0], seen)
+	if winner < 0 || winner >= ratingmap.NumCriteria {
+		t.Fatalf("winner out of range: %v", winner)
+	}
+	for c := ratingmap.Criterion(0); c < ratingmap.NumCriteria; c++ {
+		if scores[c] > scores[winner] {
+			t.Fatalf("criterion %v (%v) beats reported winner %v (%v)",
+				c, scores[c], winner, scores[winner])
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"subdex/internal/dataset"
+	"subdex/internal/diversity"
+	"subdex/internal/engine"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// Explorer is the SDE Engine of Figure 4: it turns a selection query into a
+// rating group, asks the RM-Set Generator for the step's diverse high-
+// utility rating maps, and drives the Recommendation Builder.
+type Explorer struct {
+	DB    *dataset.DB
+	Query *query.Engine
+	Gen   *engine.Generator
+	Cfg   Config
+}
+
+// NewExplorer builds an explorer over a frozen database. Databases with a
+// single rating dimension get dimension weighting disabled: Equation 1
+// exists to balance dimensions against each other, and with one dimension
+// it can only distort the ranking (the weight factor is identical for all
+// candidates).
+func NewExplorer(db *dataset.DB, cfg Config) (*Explorer, error) {
+	qe, err := query.NewEngine(db)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	if len(db.Ratings.Dimensions) == 1 {
+		cfg.Engine.Utility.DisableDimensionWeights = true
+	}
+	if cfg.GroupCacheRecords > 0 {
+		qe.EnableGroupCache(cfg.GroupCacheRecords)
+	}
+	return &Explorer{DB: db, Query: qe, Gen: engine.NewGenerator(db), Cfg: cfg}, nil
+}
+
+// StepResult is what one exploration step displays: the group, its k
+// diverse high-utility rating maps, and (in guided modes) the top-o
+// next-step recommendations.
+type StepResult struct {
+	Desc       query.Description
+	GroupSize  int
+	NumMatched struct{ Reviewers, Items int }
+
+	// Maps are the k selected rating maps, in descending DW-utility order;
+	// Utilities aligns with Maps.
+	Maps      []*ratingmap.RatingMap
+	Utilities []float64
+	// SetDiversity is the min-pairwise EMD of the selected set, and
+	// AvgDiversity the mean pairwise EMD (the Table 5 metric).
+	SetDiversity float64
+	AvgDiversity float64
+
+	Recommendations []Recommendation
+
+	// Observability: pruning counters and timings.
+	PrunedCI, PrunedMAB int
+	Considered          int
+	GenDuration         time.Duration
+	RecDuration         time.Duration
+	// RecOpDurations holds the sequential evaluation cost of each candidate
+	// operation, letting benches derive parallel schedules for any core
+	// count deterministically.
+	RecOpDurations []time.Duration
+}
+
+// TotalUtility is Σ û over the displayed maps — the step's contribution to
+// the Table 5 utility column, and Equation 2 when the step results from an
+// operation.
+func (s *StepResult) TotalUtility() float64 {
+	sum := 0.0
+	for _, u := range s.Utilities {
+		sum += u
+	}
+	return sum
+}
+
+// RMSet solves Problem 1 for a description: generate the top k×l maps by DW
+// utility (pruned per config), then select the k most diverse with GMM.
+// The seen set is not mutated; callers commit displayed maps explicitly.
+func (ex *Explorer) RMSet(desc query.Description, seen *ratingmap.SeenSet) (*StepResult, error) {
+	if err := ex.Query.Validate(desc); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	group, err := ex.Query.Materialize(desc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ex.rmSetForGroup(group, seen)
+	if err != nil {
+		return nil, err
+	}
+	res.GenDuration = time.Since(start)
+	return res, nil
+}
+
+func (ex *Explorer) rmSetForGroup(group *query.RatingGroup, seen *ratingmap.SeenSet) (*StepResult, error) {
+	cfg := ex.Cfg
+	cands := ex.Gen.Candidates(ex.Query, group.Desc)
+	kPrime := cfg.K * cfg.L
+	if cfg.DiversityOnly {
+		kPrime = len(cands)
+		if kPrime == 0 {
+			kPrime = 1
+		}
+	}
+	genRes, err := ex.Gen.TopMaps(group, cands, seen, kPrime, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	sel := diversity.SelectDiverse(genRes.Maps, cfg.K, cfg.Distance)
+
+	// Re-rank the selected subset by utility for display and recompute the
+	// aligned utilities from the generator's ranking.
+	utilOf := make(map[*ratingmap.RatingMap]float64, len(genRes.Maps))
+	for i, rm := range genRes.Maps {
+		utilOf[rm] = genRes.Utilities[i]
+	}
+	out := &StepResult{
+		Desc:       group.Desc,
+		GroupSize:  group.Len(),
+		Maps:       sel,
+		PrunedCI:   genRes.PrunedCI,
+		PrunedMAB:  genRes.PrunedMAB,
+		Considered: genRes.Considered,
+		// Diversity is reported with pure EMD — a property of the data
+		// shown — even when selection used an augmented distance.
+		SetDiversity: diversity.SetDiversity(sel, diversity.EMD),
+		AvgDiversity: diversity.AvgPairwiseDiversity(sel, diversity.EMD),
+	}
+	out.NumMatched.Reviewers = group.Reviewers.Count()
+	out.NumMatched.Items = group.Items.Count()
+	for _, rm := range sel {
+		out.Utilities = append(out.Utilities, utilOf[rm])
+	}
+	return out, nil
+}
+
+// OperationUtility evaluates Equation 2 for a candidate operation: the sum
+// of DW utilities of the k rating maps its target group would display. To
+// keep recommendation building interactive, the group's records may be
+// subsampled per Cfg.RecSampleSize.
+func (ex *Explorer) OperationUtility(op query.Operation, seen *ratingmap.SeenSet) (float64, error) {
+	group, err := ex.Query.Materialize(op.Target)
+	if err != nil {
+		return 0, err
+	}
+	if group.Len() == 0 {
+		return 0, nil
+	}
+	records := group.Records
+	if n := ex.Cfg.RecSampleSize; n > 0 && len(records) > n {
+		records = sampleRecords(records, n)
+		group = &query.RatingGroup{Desc: group.Desc, Records: records,
+			Reviewers: group.Reviewers, Items: group.Items}
+	}
+	cands := ex.Gen.Candidates(ex.Query, op.Target)
+	genRes, err := ex.Gen.TopMaps(group, cands, seen, ex.Cfg.K*ex.Cfg.L, ex.Cfg.Engine)
+	if err != nil {
+		return 0, err
+	}
+	sel := diversity.SelectDiverse(genRes.Maps, ex.Cfg.K, ex.Cfg.Distance)
+	utilOf := make(map[*ratingmap.RatingMap]float64, len(genRes.Maps))
+	for i, rm := range genRes.Maps {
+		utilOf[rm] = genRes.Utilities[i]
+	}
+	sum := 0.0
+	for _, rm := range sel {
+		sum += utilOf[rm]
+	}
+	return sum, nil
+}
+
+// sampleRecords picks n records evenly spaced across the (sorted) record
+// list — deterministic and order-preserving, which keeps repeated
+// evaluations of the same operation stable.
+func sampleRecords(records []int32, n int) []int32 {
+	out := make([]int32, 0, n)
+	step := float64(len(records)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, records[int(float64(i)*step)])
+	}
+	return out
+}
+
+// ParseDescription exposes the advanced-screen SQL predicate parser bound
+// to this explorer's schemas.
+func (ex *Explorer) ParseDescription(input string) (query.Description, error) {
+	return query.ParseDescription(input, ex.Query)
+}
+
+// DictFor returns the display dictionary for a rating map's grouping
+// attribute, for rendering.
+func (ex *Explorer) DictFor(rm *ratingmap.RatingMap) ratingmap.Dict {
+	var t *dataset.EntityTable
+	if rm.Side == query.ReviewerSide {
+		t = ex.DB.Reviewers
+	} else {
+		t = ex.DB.Items
+	}
+	d := t.DictByName(rm.Attr)
+	if d == nil {
+		return nil
+	}
+	return d
+}
+
+// RenderMap formats a rating map with value labels resolved.
+func (ex *Explorer) RenderMap(rm *ratingmap.RatingMap) string {
+	if rm == nil {
+		return "<nil rating map>"
+	}
+	return rm.Render(ex.DictFor(rm))
+}
+
+// ExplainMap reports why a rating map scores: its four criterion values and
+// the winning criterion — the attribution behind the max-aggregated
+// utility, shown by the CLI's "why" command.
+func (ex *Explorer) ExplainMap(rm *ratingmap.RatingMap, seen *ratingmap.SeenSet) (scores ratingmap.Scores, winner ratingmap.Criterion) {
+	scores = ratingmap.ComputeScoresOpt(rm, seen, 1, ex.Cfg.Engine.Utility.Peculiarity)
+	winner, _ = scores.Best()
+	return scores, winner
+}
+
+func (ex *Explorer) String() string {
+	return fmt.Sprintf("Explorer(%s: %d reviewers, %d items, %d ratings)",
+		ex.DB.Name, ex.DB.Reviewers.Len(), ex.DB.Items.Len(), ex.DB.Ratings.Len())
+}

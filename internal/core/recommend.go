@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// Recommendation is one ranked next-step operation with its Equation 2
+// utility.
+type Recommendation struct {
+	Op      query.Operation
+	Utility float64
+}
+
+// RecommendationBuilder implements §4.3: for each displayed rating map it
+// derives candidate operations (small adjustments to the current selection,
+// differing in at most two attribute-value pairs, biased toward the map's
+// own subgroups), evaluates each candidate's utility, and the SDE Engine
+// merges the per-map top-o lists into the overall top-o.
+type RecommendationBuilder struct {
+	Ex *Explorer
+}
+
+// evaluated pairs an operation with its computed utility and cost.
+type evaluated struct {
+	op       query.Operation
+	utility  float64
+	duration time.Duration
+	err      error
+}
+
+// Recommend returns the overall top-o recommendations for the current
+// description given the displayed maps. Candidate evaluation runs on
+// Cfg.RecWorkers goroutines — the paper's parallel Recommendation Builder;
+// with RecWorkers ≤ 1 it degrades to the No-Parallelism baseline. The
+// returned durations list the sequential cost of every evaluated candidate,
+// letting benches derive schedules for arbitrary core counts.
+func (rb *RecommendationBuilder) Recommend(cur query.Description, maps []*ratingmap.RatingMap,
+	seen *ratingmap.SeenSet, o int) ([]Recommendation, []time.Duration, error) {
+	ops, err := rb.CandidateOps(cur, maps)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ops) == 0 {
+		return nil, nil, nil
+	}
+
+	var scorer OperationScorer = EquationTwoScorer{}
+	if rb.Ex.Cfg.Scorer != nil {
+		scorer = rb.Ex.Cfg.Scorer
+	}
+	results := make([]evaluated, len(ops))
+	workers := rb.Ex.Cfg.RecWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				u, err := scorer.ScoreOperation(rb.Ex, ops[i], seen)
+				results[i] = evaluated{op: ops[i], utility: u, duration: time.Since(start), err: err}
+			}
+		}()
+	}
+	for i := range ops {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	durations := make([]time.Duration, 0, len(results))
+	var recs []Recommendation
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		durations = append(durations, r.duration)
+		recs = append(recs, Recommendation{Op: r.op, Utility: r.utility})
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Utility > recs[j].Utility })
+	if o > 0 && len(recs) > o {
+		recs = recs[:o]
+	}
+	return recs, durations, nil
+}
+
+// CandidateOps enumerates the candidate operations of a step. Per §4.3 a
+// candidate differs from the current selection in at most two
+// attribute-value pairs: it may add any one attribute-value pair, and may
+// additionally remove or change one existing pair. Pure removals and pure
+// changes are included. The two-pair combinations are anchored on the
+// displayed maps (filtering into a map's subgroup while adjusting one
+// existing pair), which is how the paper's Recommendation Builder
+// associates candidates with rating maps. Duplicate targets are merged.
+func (rb *RecommendationBuilder) CandidateOps(cur query.Description, maps []*ratingmap.RatingMap) ([]query.Operation, error) {
+	lim := rb.Ex.Cfg.Limits
+	seen := map[string]bool{cur.Key(): true}
+	var ops []query.Operation
+	add := func(op query.Operation) bool {
+		k := op.Target.Key()
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		ops = append(ops, op)
+		return lim.MaxCandidates == 0 || len(ops) < lim.MaxCandidates
+	}
+
+	// All single-pair filter additions over unbound attributes. The
+	// per-attribute value cap deliberately does not apply here: single-pair
+	// candidates are the cheap, load-bearing ones, and truncating the value
+	// list would hide exactly the operations the user needs.
+	for _, side := range []query.Side{query.ReviewerSide, query.ItemSide} {
+		var t = rb.Ex.DB.Reviewers
+		if side == query.ItemSide {
+			t = rb.Ex.DB.Items
+		}
+		for a := 0; a < t.Schema.Len(); a++ {
+			attr := t.Schema.At(a).Name
+			if cur.BindsAttr(side, attr) {
+				continue
+			}
+			values := t.Dict(a).Values()
+			for _, v := range values {
+				sel := query.Selector{Side: side, Attr: attr, Value: v}
+				target, err := cur.With(sel)
+				if err != nil {
+					continue
+				}
+				s := sel
+				if !add(query.Operation{Kind: query.Filter, Target: target, Added: &s}) {
+					return ops, nil
+				}
+			}
+		}
+	}
+
+	// Map-anchored drill-downs: filter to each subgroup of each displayed
+	// map, optionally combined with one removal or change.
+	for _, rm := range maps {
+		dict := rb.dictOf(rm)
+		values := rm.Subgroups
+		if lim.MaxValuesPerAttribute > 0 && len(values) > lim.MaxValuesPerAttribute {
+			values = values[:lim.MaxValuesPerAttribute]
+		}
+		for i := range values {
+			label := dict.Value(values[i].Value)
+			if label == dataset.MissingLabel {
+				continue
+			}
+			sel := query.Selector{Side: rm.Side, Attr: rm.Attr, Value: label}
+			if cur.BindsAttr(sel.Side, sel.Attr) {
+				continue
+			}
+			target, err := cur.With(sel)
+			if err != nil {
+				continue
+			}
+			s := sel
+			if !add(query.Operation{Kind: query.Filter, Target: target, Added: &s}) {
+				return ops, nil
+			}
+			if !lim.IncludeCombined {
+				continue
+			}
+			for _, old := range cur.Selectors() {
+				old := old
+				if t2, err := target.Without(old); err == nil {
+					if !add(query.Operation{Kind: query.FilterGeneralize, Target: t2, Added: &s, Removed: &old}) {
+						return ops, nil
+					}
+				}
+				vals, err := rb.Ex.Query.AttributeValues(old.Side, old.Attr)
+				if err != nil {
+					return nil, err
+				}
+				if lim.MaxValuesPerAttribute > 0 && len(vals) > lim.MaxValuesPerAttribute {
+					vals = vals[:lim.MaxValuesPerAttribute]
+				}
+				for _, v := range vals {
+					if v == old.Value {
+						continue
+					}
+					if t2, err := target.WithChanged(old, v); err == nil {
+						if !add(query.Operation{Kind: query.FilterChange, Target: t2, Added: &s, Changed: &old, ChangedTo: v}) {
+							return ops, nil
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pure roll-ups and sideways moves on the current description — SDD and
+	// Qagview cannot produce these, which Table 4 shows matters.
+	for _, old := range cur.Selectors() {
+		old := old
+		if target, err := cur.Without(old); err == nil {
+			if !add(query.Operation{Kind: query.Generalize, Target: target, Removed: &old}) {
+				return ops, nil
+			}
+		}
+		vals, err := rb.Ex.Query.AttributeValues(old.Side, old.Attr)
+		if err != nil {
+			return nil, err
+		}
+		if lim.MaxValuesPerAttribute > 0 && len(vals) > lim.MaxValuesPerAttribute {
+			vals = vals[:lim.MaxValuesPerAttribute]
+		}
+		for _, v := range vals {
+			if v == old.Value {
+				continue
+			}
+			if target, err := cur.WithChanged(old, v); err == nil {
+				if !add(query.Operation{Kind: query.Change, Target: target, Changed: &old, ChangedTo: v}) {
+					return ops, nil
+				}
+			}
+		}
+	}
+	return ops, nil
+}
+
+// dictOf resolves the value dictionary of a map's grouping attribute.
+func (rb *RecommendationBuilder) dictOf(rm *ratingmap.RatingMap) *dataset.Dictionary {
+	var t *dataset.EntityTable
+	if rm.Side == query.ReviewerSide {
+		t = rb.Ex.DB.Reviewers
+	} else {
+		t = rb.Ex.DB.Items
+	}
+	return t.DictByName(rm.Attr)
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// OperationScorer ranks candidate next-step operations. The default scorer
+// is Equation 2 (the sum of DW utilities of the rating maps the operation's
+// group would display); the paper notes (§5.2.2) that "due to the modular
+// nature of SubDEx the Recommendation Builder may be replaced with
+// alternative implementations, yielding personalized recommendations using
+// logs of previous operations, or user feedback" — this interface is that
+// replacement point.
+type OperationScorer interface {
+	// ScoreOperation returns the utility of applying op given the maps the
+	// user has already seen.
+	ScoreOperation(ex *Explorer, op query.Operation, seen *ratingmap.SeenSet) (float64, error)
+}
+
+// EquationTwoScorer is the paper's ranking: u(q, RM) = Σ û(rm, RM) over the
+// k rating maps of q's target group.
+type EquationTwoScorer struct{}
+
+// ScoreOperation evaluates Equation 2.
+func (EquationTwoScorer) ScoreOperation(ex *Explorer, op query.Operation, seen *ratingmap.SeenSet) (float64, error) {
+	return ex.OperationUtility(op, seen)
+}
+
+// LogAffinityScorer personalizes Equation 2 with a log of the user's past
+// operations: candidates touching attributes the user has shown interest in
+// get boosted, the way log-based recommenders (Eirinaki et al. [23], Milo &
+// Somech [42]) exploit session history. The boost is multiplicative:
+//
+//	score = eq2 × (1 + Alpha × affinity)
+//
+// where affinity ∈ [0,1] is the fraction of the operation's touched
+// attributes that appear in the log.
+type LogAffinityScorer struct {
+	// Alpha controls the personalization strength; 0 degrades to Eq. 2.
+	Alpha float64
+
+	attrUse map[string]int
+	total   int
+}
+
+// Observe records an applied operation into the log. Operations carrying
+// no explicit delta (e.g. a selection typed into the advanced screen)
+// contribute every attribute of their target selection.
+func (l *LogAffinityScorer) Observe(op query.Operation) {
+	if l.attrUse == nil {
+		l.attrUse = make(map[string]int)
+	}
+	attrs := touchedAttrs(op)
+	if len(attrs) == 0 {
+		for _, sel := range op.Target.Selectors() {
+			attrs = append(attrs, sel.Side.String()+"."+sel.Attr)
+		}
+	}
+	for _, attr := range attrs {
+		l.attrUse[attr]++
+		l.total++
+	}
+}
+
+// ScoreOperation boosts Equation 2 by the operation's attribute affinity
+// with the observed log.
+func (l *LogAffinityScorer) ScoreOperation(ex *Explorer, op query.Operation, seen *ratingmap.SeenSet) (float64, error) {
+	base, err := ex.OperationUtility(op, seen)
+	if err != nil {
+		return 0, err
+	}
+	if l.total == 0 || l.Alpha == 0 {
+		return base, nil
+	}
+	touched := touchedAttrs(op)
+	if len(touched) == 0 {
+		return base, nil
+	}
+	hits := 0
+	for _, attr := range touched {
+		if l.attrUse[attr] > 0 {
+			hits++
+		}
+	}
+	affinity := float64(hits) / float64(len(touched))
+	return base * (1 + l.Alpha*affinity), nil
+}
+
+// touchedAttrs lists the side-qualified attributes an operation acts on.
+func touchedAttrs(op query.Operation) []string {
+	var out []string
+	add := func(s *query.Selector) {
+		if s != nil {
+			out = append(out, s.Side.String()+"."+s.Attr)
+		}
+	}
+	add(op.Added)
+	add(op.Removed)
+	add(op.Changed)
+	return out
+}

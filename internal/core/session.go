@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// Session is one exploration: a current description, the history of seen
+// rating maps (driving global peculiarity and dimension weights), and the
+// step log. Sessions are mode-agnostic; the mode decides who supplies each
+// operation.
+type Session struct {
+	Ex   *Explorer
+	Mode Mode
+
+	cur     query.Description
+	seen    *ratingmap.SeenSet
+	steps   []*StepResult
+	rb      RecommendationBuilder
+	history []query.Description // selections visited, for Back
+}
+
+// NewSession starts a session at the given description (use the zero
+// Description to start from the whole database).
+func NewSession(ex *Explorer, mode Mode, start query.Description) (*Session, error) {
+	if err := ex.Query.Validate(start); err != nil {
+		return nil, err
+	}
+	return &Session{Ex: ex, Mode: mode, cur: start, seen: ratingmap.NewSeenSet(),
+		rb: RecommendationBuilder{Ex: ex}}, nil
+}
+
+// Current returns the session's current description.
+func (s *Session) Current() query.Description { return s.cur }
+
+// Seen returns the history of displayed rating maps.
+func (s *Session) Seen() *ratingmap.SeenSet { return s.seen }
+
+// Steps returns the executed step results, oldest first.
+func (s *Session) Steps() []*StepResult { return s.steps }
+
+// NumSteps returns how many steps have been displayed.
+func (s *Session) NumSteps() int { return len(s.steps) }
+
+// Step runs one exploration step at the current description: it selects and
+// commits the k diverse high-utility rating maps, and — in guided modes —
+// attaches the top-o next-step recommendations. The displayed maps are
+// added to the seen set *before* recommendations are evaluated, matching
+// the paper's ordering (an operation's utility depends on the maps "seen by
+// the user up to this step").
+func (s *Session) Step() (*StepResult, error) {
+	res, err := s.Ex.RMSet(s.cur, s.seen)
+	if err != nil {
+		return nil, err
+	}
+	for _, rm := range res.Maps {
+		s.seen.Add(rm)
+	}
+	if s.Mode != UserDriven {
+		start := time.Now()
+		recs, durs, err := s.rb.Recommend(s.cur, res.Maps, s.seen, s.Ex.Cfg.O)
+		if err != nil {
+			return nil, err
+		}
+		res.Recommendations = recs
+		res.RecOpDurations = durs
+		res.RecDuration = time.Since(start)
+	}
+	s.steps = append(s.steps, res)
+	return res, nil
+}
+
+// Apply moves the session to the operation's target description. Any
+// operation is accepted in UserDriven and RecommendationPowered modes;
+// FullyAutomated sessions advance only via Auto.
+func (s *Session) Apply(op query.Operation) error {
+	return s.ApplyDescription(op.Target)
+}
+
+// ApplyDescription moves the session to an explicit description (the
+// user-provided operation path, including the advanced SQL screen). The
+// previous selection is pushed onto the Back history.
+func (s *Session) ApplyDescription(d query.Description) error {
+	if err := s.Ex.Query.Validate(d); err != nil {
+		return err
+	}
+	if !s.cur.Equal(d) {
+		s.history = append(s.history, s.cur)
+	}
+	s.cur = d
+	// Feed the session's own log-affinity scorer, if one is configured, so
+	// personalization reflects the user's actual trajectory.
+	if l, ok := s.Ex.Cfg.Scorer.(*LogAffinityScorer); ok {
+		l.Observe(query.Operation{Target: d})
+	}
+	return nil
+}
+
+// Back returns the session to the previously visited selection, like the
+// browser-style back button of the demo UI. It reports false when the
+// history is empty.
+func (s *Session) Back() bool {
+	if len(s.history) == 0 {
+		return false
+	}
+	s.cur = s.history[len(s.history)-1]
+	s.history = s.history[:len(s.history)-1]
+	return true
+}
+
+// ApplyRecommendation applies the i-th recommendation of the latest step.
+func (s *Session) ApplyRecommendation(i int) error {
+	if len(s.steps) == 0 {
+		return fmt.Errorf("core: no step executed yet")
+	}
+	last := s.steps[len(s.steps)-1]
+	if i < 0 || i >= len(last.Recommendations) {
+		return fmt.Errorf("core: recommendation index %d out of range (have %d)", i, len(last.Recommendations))
+	}
+	return s.Apply(last.Recommendations[i].Op)
+}
+
+// Auto runs a Fully-Automated exploration of m steps from the current
+// description, applying the top-1 recommendation after each step. It stops
+// early if no recommendation is available. It returns the executed steps.
+func (s *Session) Auto(m int) ([]*StepResult, error) {
+	if s.Mode == UserDriven {
+		return nil, fmt.Errorf("core: Auto requires a guided mode, session is %s", s.Mode)
+	}
+	var out []*StepResult
+	for i := 0; i < m; i++ {
+		res, err := s.Step()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+		if i == m-1 {
+			break
+		}
+		if len(res.Recommendations) == 0 {
+			break
+		}
+		if err := s.Apply(res.Recommendations[0].Op); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// PathSummary aggregates a finished session for the Table 5 metrics: total
+// utility, number of distinct grouping attributes shown, and mean per-step
+// average pairwise diversity.
+type PathSummary struct {
+	Steps              int
+	TotalUtility       float64
+	DistinctAttributes int
+	AvgDiversity       float64
+	MapsPerDimension   map[int]int
+}
+
+// Summarize computes the PathSummary of the session so far.
+func (s *Session) Summarize() PathSummary {
+	sum := PathSummary{Steps: len(s.steps), MapsPerDimension: make(map[int]int)}
+	attrs := make(map[string]bool)
+	div := 0.0
+	for _, st := range s.steps {
+		sum.TotalUtility += st.TotalUtility()
+		div += st.AvgDiversity
+		for _, rm := range st.Maps {
+			attrs[fmt.Sprintf("%d.%s", rm.Side, rm.Attr)] = true
+			sum.MapsPerDimension[rm.Dim]++
+		}
+	}
+	sum.DistinctAttributes = len(attrs)
+	if len(s.steps) > 0 {
+		sum.AvgDiversity = div / float64(len(s.steps))
+	}
+	return sum
+}

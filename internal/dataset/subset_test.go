@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"testing"
+)
+
+// biggerDB builds a database large enough for subsetting tests.
+func biggerDB(t *testing.T) *DB {
+	t.Helper()
+	rs, _ := NewSchema(Attribute{Name: "gender"}, Attribute{Name: "age"}, Attribute{Name: "job"})
+	is, _ := NewSchema(Attribute{Name: "city"}, Attribute{Name: "kind", Kind: MultiValued})
+	reviewers := NewEntityTable("reviewers", rs)
+	items := NewEntityTable("items", is)
+	genders := []string{"F", "M"}
+	ages := []string{"young", "adult", "senior"}
+	jobs := []string{"a", "b", "c", "d"}
+	cities := []string{"x", "y", "z"}
+	kinds := [][]string{{"k1"}, {"k1", "k2"}, {"k2", "k3"}}
+	for i := 0; i < 60; i++ {
+		if _, err := reviewers.AppendRow(key("u", i), map[string]string{
+			"gender": genders[i%2], "age": ages[i%3], "job": jobs[i%4],
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := items.AppendRow(key("i", i), map[string]string{"city": cities[i%3]},
+			map[string][]string{"kind": kinds[i%3]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, _ := NewRatingTable(Dimension{Name: "overall", Scale: 5}, Dimension{Name: "food", Scale: 5})
+	for i := 0; i < 300; i++ {
+		if err := rt.Append(i%60, i%15, []Score{Score(1 + i%5), Score(1 + (i+2)%5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := NewDB("big", reviewers, items, rt)
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func key(prefix string, i int) string {
+	return prefix + string(rune('A'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestSampleReviewers(t *testing.T) {
+	db := biggerDB(t)
+	sub, err := SampleReviewers(db, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Frozen() {
+		t.Fatal("sampled database must be frozen")
+	}
+	if sub.Reviewers.Len() == 0 || sub.Reviewers.Len() >= db.Reviewers.Len() {
+		t.Errorf("sampled reviewers = %d of %d", sub.Reviewers.Len(), db.Reviewers.Len())
+	}
+	if sub.Items.Len() != db.Items.Len() {
+		t.Errorf("items must be kept whole: %d vs %d", sub.Items.Len(), db.Items.Len())
+	}
+	// Every record must reference a kept reviewer and preserve its scores.
+	if sub.Ratings.Len() == 0 || sub.Ratings.Len() >= db.Ratings.Len() {
+		t.Errorf("sampled records = %d of %d", sub.Ratings.Len(), db.Ratings.Len())
+	}
+	for r := 0; r < sub.Ratings.Len(); r++ {
+		u := int(sub.Ratings.Reviewer[r])
+		if u < 0 || u >= sub.Reviewers.Len() {
+			t.Fatalf("record %d references missing reviewer %d", r, u)
+		}
+	}
+}
+
+func TestSampleReviewersRejectsBadFraction(t *testing.T) {
+	db := biggerDB(t)
+	for _, f := range []float64{0, -0.5, 1.5} {
+		if _, err := SampleReviewers(db, f, 1); err == nil {
+			t.Errorf("fraction %v must be rejected", f)
+		}
+	}
+}
+
+func TestKeepAttributes(t *testing.T) {
+	db := biggerDB(t)
+	sub, err := KeepAttributes(db, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sub.Reviewers.Schema.Len() + sub.Items.Schema.Len()
+	if total != 3 {
+		t.Errorf("kept %d attributes, want 3", total)
+	}
+	if sub.Reviewers.Schema.Len() < 1 || sub.Items.Schema.Len() < 1 {
+		t.Error("each table must keep at least one attribute")
+	}
+	if sub.Ratings.Len() != db.Ratings.Len() {
+		t.Error("rating records must be preserved")
+	}
+	// Clamping behaviour.
+	all, err := KeepAttributes(db, 99, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := all.Reviewers.Schema.Len() + all.Items.Schema.Len(); got != 5 {
+		t.Errorf("keepTotal beyond schema must clamp: got %d", got)
+	}
+}
+
+func TestSampleAttributeValues(t *testing.T) {
+	db := biggerDB(t)
+	sub, err := SampleAttributeValues(db, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Reviewers.Len() != db.Reviewers.Len() {
+		t.Error("entities must be preserved")
+	}
+	// Every attribute must retain at least one value, and no attribute may
+	// gain values.
+	for a := 0; a < sub.Reviewers.Schema.Len(); a++ {
+		before := db.Reviewers.ValueCardinality(a)
+		after := sub.Reviewers.ValueCardinality(a)
+		if before > 0 && after == 0 {
+			t.Errorf("attribute %d lost all values", a)
+		}
+		if after > before {
+			t.Errorf("attribute %d gained values: %d > %d", a, after, before)
+		}
+	}
+}

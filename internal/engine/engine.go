@@ -1,0 +1,438 @@
+// Package engine implements the RM-Generator of SubDEx (§4.2.1): the
+// phase-based execution framework of Algorithm 1 with the paper's two
+// sharing optimizations (combined aggregates via the shared accumulator,
+// parallel execution via a worker pool) and its two pruning schemes — the
+// confidence-interval pruning of Algorithm 3 built on Hoeffding-Serfling
+// worst-case intervals, and the multi-armed-bandit pruning built on the
+// Successive Accepts and Rejects strategy. Given a rating group, it returns
+// (w.h.p.) the k×l rating maps with the highest dimension-weighted
+// utilities.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"subdex/internal/bandit"
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+	"subdex/internal/stats"
+)
+
+// Pruning selects which pruning schemes run at phase boundaries.
+type Pruning int
+
+const (
+	// PruneNone disables pruning (the No-Pruning baseline of §5.1).
+	PruneNone Pruning = iota
+	// PruneCI uses only confidence-interval pruning (the CI baseline).
+	PruneCI
+	// PruneMAB uses only bandit pruning (the MAB baseline).
+	PruneMAB
+	// PruneBoth runs both schemes, SubDEx's default.
+	PruneBoth
+)
+
+func (p Pruning) String() string {
+	switch p {
+	case PruneNone:
+		return "none"
+	case PruneCI:
+		return "ci"
+	case PruneMAB:
+		return "mab"
+	case PruneBoth:
+		return "ci+mab"
+	default:
+		return fmt.Sprintf("Pruning(%d)", int(p))
+	}
+}
+
+// Config parameterizes the generator. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Phases is n in Algorithm 1; the paper follows SeeDB in using 10.
+	Phases int
+	// Delta is the CI confidence parameter (intervals hold w.p. 1−Delta).
+	Delta float64
+	// Pruning selects the pruning schemes.
+	Pruning Pruning
+	// Workers bounds parallel per-phase estimation; ≤1 disables
+	// parallelism (the No-Parallelism and Naive baselines).
+	Workers int
+	// Utility configures scoring (max-aggregation, normalization, DW).
+	Utility ratingmap.UtilityConfig
+	// MinPhaseRecords skips phased execution for groups smaller than this:
+	// pruning overhead would exceed the scan cost.
+	MinPhaseRecords int
+}
+
+// DefaultConfig returns the paper's defaults (n=10 phases, both pruning
+// schemes, utility per §3.2.3).
+func DefaultConfig() Config {
+	return Config{
+		Phases:          10,
+		Delta:           0.05,
+		Pruning:         PruneBoth,
+		Workers:         1,
+		Utility:         ratingmap.DefaultUtilityConfig(),
+		MinPhaseRecords: 5000,
+	}
+}
+
+// Result carries the generator's output: the top maps ranked by descending
+// DW utility, aligned utilities, and observability counters.
+type Result struct {
+	Maps      []*ratingmap.RatingMap
+	Utilities []float64
+	// PrunedCI and PrunedMAB count candidates dropped by each scheme.
+	PrunedCI  int
+	PrunedMAB int
+	// Considered is the initial candidate count.
+	Considered int
+}
+
+// Generator produces top-utility rating maps for rating groups of one
+// database.
+type Generator struct {
+	DB      *dataset.DB
+	Builder ratingmap.Builder
+}
+
+// NewGenerator wraps a frozen database.
+func NewGenerator(db *dataset.DB) *Generator {
+	return &Generator{DB: db, Builder: ratingmap.Builder{DB: db}}
+}
+
+// Candidates enumerates all possible rating maps for a group description:
+// every unbound grouping attribute × every rating dimension (line 1 of
+// Algorithm 1).
+func (g *Generator) Candidates(qe *query.Engine, desc query.Description) []ratingmap.Key {
+	groupings := qe.GroupingCandidates(desc)
+	dims := len(g.DB.Ratings.Dimensions)
+	keys := make([]ratingmap.Key, 0, len(groupings)*dims)
+	for _, gc := range groupings {
+		for d := 0; d < dims; d++ {
+			keys = append(keys, ratingmap.Key{Side: gc.Side, Attr: gc.Attr, Dim: d})
+		}
+	}
+	return keys
+}
+
+// TopMaps runs Algorithm 1: it returns w.h.p. the kPrime = k×l candidates
+// with the highest DW utilities over the group's records, ranked by exact
+// utility, pruning low-utility candidates at phase boundaries.
+func (g *Generator) TopMaps(group *query.RatingGroup, candidates []ratingmap.Key,
+	seen *ratingmap.SeenSet, kPrime int, cfg Config) (*Result, error) {
+	if kPrime <= 0 {
+		return nil, fmt.Errorf("engine: kPrime must be positive, got %d", kPrime)
+	}
+	if cfg.Phases <= 0 {
+		cfg.Phases = 1
+	}
+	res := &Result{Considered: len(candidates)}
+	if len(candidates) == 0 {
+		return res, nil
+	}
+
+	acc := g.Builder.NewAccumulator(group.Desc, candidates)
+	n := len(group.Records)
+
+	usePhases := cfg.Pruning != PruneNone && cfg.Phases > 1 &&
+		n >= cfg.MinPhaseRecords && len(candidates) > kPrime
+
+	if !usePhases {
+		acc.Update(group.Records)
+		g.finalize(acc, seen, kPrime, cfg, res)
+		return res, nil
+	}
+
+	var sar *bandit.SAR
+	if cfg.Pruning == PruneMAB || cfg.Pruning == PruneBoth {
+		ids := make([]int, len(candidates))
+		for i := range ids {
+			ids[i] = i
+		}
+		var err error
+		sar, err = bandit.NewSAR(ids, kPrime)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// alive maps candidate index → key for candidates still accumulated.
+	alive := make(map[int]ratingmap.Key, len(candidates))
+	for i, k := range candidates {
+		alive[i] = k
+	}
+
+	processed := 0
+	for phase := 0; phase < cfg.Phases; phase++ {
+		lo := phase * n / cfg.Phases
+		hi := (phase + 1) * n / cfg.Phases
+		if lo >= hi {
+			continue
+		}
+		acc.Update(group.Records[lo:hi])
+		processed = hi
+		if phase == cfg.Phases-1 {
+			break // nothing to prune after the last fraction; finalize below
+		}
+
+		est := g.estimate(acc, alive, seen, cfg, processed, n)
+
+		if cfg.Pruning == PruneCI || cfg.Pruning == PruneBoth {
+			pruned := ciPrune(est, processed, n, kPrime, cfg.Delta, sar)
+			for _, idx := range pruned {
+				acc.Remove(alive[idx])
+				delete(alive, idx)
+				res.PrunedCI++
+			}
+		}
+		if sar != nil {
+			for idx, e := range est {
+				if _, ok := alive[idx]; ok {
+					if err := sar.SetMean(idx, e.dwMean); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// Successive Accepts and Rejects makes one decision per round
+			// and needs (#arms − k') rounds in total; with n phases the
+			// per-phase decision budget spreads the remaining decisions
+			// over the remaining phases.
+			remaining := len(alive) - kPrime
+			phasesLeft := cfg.Phases - 1 - phase
+			if phasesLeft < 1 {
+				phasesLeft = 1
+			}
+			budget := (remaining + phasesLeft - 1) / phasesLeft
+			for d := 0; d < budget; d++ {
+				id, st, ok := sar.Step()
+				if !ok {
+					break
+				}
+				if st == bandit.Rejected {
+					if k, live := alive[id]; live {
+						acc.Remove(k)
+						delete(alive, id)
+						res.PrunedMAB++
+					}
+				}
+			}
+		}
+		if len(alive) <= kPrime {
+			// Survivors all fit in the answer; stop pruning, finish the scan.
+			for p := phase + 1; p < cfg.Phases; p++ {
+				lo := p * n / cfg.Phases
+				hi := (p + 1) * n / cfg.Phases
+				if lo < hi {
+					acc.Update(group.Records[lo:hi])
+				}
+			}
+			break
+		}
+	}
+	g.finalize(acc, seen, kPrime, cfg, res)
+	return res, nil
+}
+
+// estimateEntry carries one candidate's per-criterion estimates and its
+// dimension-weighted mean at a phase boundary.
+type estimateEntry struct {
+	idx    int
+	key    ratingmap.Key
+	scores ratingmap.Scores
+	weight float64
+	dwMean float64
+}
+
+// estimate snapshots the alive candidates and computes bounded criterion
+// estimates in parallel (the "parallel query execution" sharing
+// optimization: up to cfg.Workers candidates are scored simultaneously).
+func (g *Generator) estimate(acc *ratingmap.Accumulator, alive map[int]ratingmap.Key,
+	seen *ratingmap.SeenSet, cfg ratingmapConfigCarrier, processed, total int) map[int]estimateEntry {
+	recordScale := 1.0
+	if processed > 0 {
+		recordScale = float64(total) / float64(processed)
+	}
+	idxs := make([]int, 0, len(alive))
+	for i := range alive {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]estimateEntry, len(idxs))
+	workers := cfg.workers()
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(idxs) + workers - 1) / workers
+	for w := 0; w < workers && w*chunk < len(idxs); w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for p := lo; p < hi; p++ {
+				idx := idxs[p]
+				key := alive[idx]
+				scores, _ := acc.CriteriaEstimateOpt(key, seen, recordScale, cfg.utility().Peculiarity)
+				w := seen.Weight(key.Dim)
+				if cfg.utility().DisableDimensionWeights {
+					w = 1
+				}
+				out[p] = estimateEntry{
+					idx:    idx,
+					key:    key,
+					scores: scores,
+					weight: w,
+					dwMean: w * scores.Aggregate(cfg.utility()),
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	m := make(map[int]estimateEntry, len(out))
+	for _, e := range out {
+		m[e.idx] = e
+	}
+	return m
+}
+
+// ratingmapConfigCarrier lets estimate share Config without an import cycle
+// risk; Config satisfies it.
+type ratingmapConfigCarrier interface {
+	workers() int
+	utility() ratingmap.UtilityConfig
+}
+
+func (c Config) workers() int                     { return c.Workers }
+func (c Config) utility() ratingmap.UtilityConfig { return c.Utility }
+
+// ciPrune applies Algorithm 3. Each candidate's interval is built per
+// criterion from the Hoeffding-Serfling radius at (processed, total), then
+// collapsed for the max-of-criteria utility: the interval of a maximum of
+// quantities is [max of lower bounds, max of upper bounds] — every criterion
+// interval lying entirely below another is discarded, exactly the loop of
+// lines 2-9. Both bounds are then scaled by the dimension weight (lines
+// 10-11). A candidate is pruned when its upper bound falls below the lowest
+// lower bound of the current top-kPrime (lines 12-17). Arms already accepted
+// by the bandit are exempt. Returns the pruned candidate indexes.
+func ciPrune(est map[int]estimateEntry, processed, total, kPrime int, delta float64, sar *bandit.SAR) []int {
+	if len(est) <= kPrime {
+		return nil
+	}
+	radius := stats.HoeffdingSerflingRadius(processed, total, delta)
+	type bound struct {
+		idx    int
+		lo, hi float64
+	}
+	accepted := make(map[int]bool)
+	if sar != nil {
+		for _, id := range sar.Accepted() {
+			accepted[id] = true
+		}
+	}
+	bounds := make([]bound, 0, len(est))
+	for idx, e := range est {
+		lo, hi := -1.0, -1.0
+		for _, s := range e.scores {
+			l := stats.Clamp(s-radius, 0, 1)
+			h := stats.Clamp(s+radius, 0, 1)
+			if l > lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		bounds = append(bounds, bound{idx: idx, lo: lo * e.weight, hi: hi * e.weight})
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].hi > bounds[j].hi })
+	lowest := bounds[0].lo
+	for _, b := range bounds[1:min(kPrime, len(bounds))] {
+		if b.lo < lowest {
+			lowest = b.lo
+		}
+	}
+	var pruned []int
+	for _, b := range bounds[min(kPrime, len(bounds)):] {
+		if b.hi < lowest && !accepted[b.idx] {
+			pruned = append(pruned, b.idx)
+		}
+	}
+	return pruned
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// finalize scores all remaining candidates on their full accumulated data
+// using the allocation-light estimator, ranks them, and materializes only
+// the top kPrime as rating maps. With normalization enabled in the utility
+// config, criterion columns are min-max normalized across the survivors
+// before aggregation, per Somech et al. [51].
+func (g *Generator) finalize(acc *ratingmap.Accumulator, seen *ratingmap.SeenSet,
+	kPrime int, cfg Config, res *Result) {
+	keys := acc.Keys()
+	scores := make([]ratingmap.Scores, len(keys))
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(keys) + workers - 1) / workers
+	for w := 0; w < workers && w*chunk < len(keys); w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				scores[i], _ = acc.CriteriaEstimateOpt(keys[i], seen, 1, cfg.Utility.Peculiarity)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	if cfg.Utility.Normalize && len(keys) > 1 {
+		col := make([]float64, len(keys))
+		for c := ratingmap.Criterion(0); c < ratingmap.NumCriteria; c++ {
+			for i := range scores {
+				col[i] = scores[i][c]
+			}
+			stats.MinMaxNormalize(col)
+			for i := range scores {
+				scores[i][c] = col[i]
+			}
+		}
+	}
+	utils := make([]float64, len(keys))
+	for i := range keys {
+		utils[i] = ratingmap.DWUtility(scores[i].Aggregate(cfg.Utility), keys[i].Dim, seen, cfg.Utility)
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return utils[order[a]] > utils[order[b]] })
+	if kPrime > len(order) {
+		kPrime = len(order)
+	}
+	res.Maps = make([]*ratingmap.RatingMap, 0, kPrime)
+	res.Utilities = make([]float64, 0, kPrime)
+	for _, i := range order[:kPrime] {
+		res.Maps = append(res.Maps, acc.Snapshot(keys[i]))
+		res.Utilities = append(res.Utilities, utils[i])
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"subdex/internal/core"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+	"subdex/internal/study"
+)
+
+// Table5 reproduces the utility/diversity trade-off: Fully-Automated paths
+// of 7 steps with k=3 under l ∈ {1 (utility-only), 2, 3, diversity-only},
+// reporting the number of distinct grouping attributes shown, the total
+// utility, and the average per-step pairwise diversity.
+func Table5(p Params) error {
+	header(p.Out, "Table 5: Utility and diversity across the pruning-diversity factor l")
+	tw := newTab(p.Out)
+	fmt.Fprintln(tw, "Variant\tDataset\t#attributes\tutility\tdiversity")
+	variants := []struct {
+		name          string
+		l             int
+		diversityOnly bool
+	}{
+		{"Utility-Only (l=1)", 1, false},
+		{"l=2", 2, false},
+		{"l=3", 3, false},
+		{"Diversity-Only", 3, true},
+	}
+	type cell struct {
+		attrs     int
+		utility   float64
+		diversity float64
+	}
+	results := make(map[string]map[string]cell)
+	for _, ds := range []string{"Movielens", "Yelp"} {
+		// Fix the next-action operations (the paper generates the path with
+		// the Fully-Automated mode once), then replay the same selections
+		// under each variant so only map selection differs.
+		ex, _, err := buildScenarioI(ds, p, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		descs, err := autoPathDescs(ex, scenarioIPathLen)
+		if err != nil {
+			return err
+		}
+		for _, v := range variants {
+			cfg := core.DefaultConfig()
+			cfg.L = v.l
+			cfg.DiversityOnly = v.diversityOnly
+			vex, _, err := buildScenarioI(ds, p, cfg)
+			if err != nil {
+				return err
+			}
+			sum, err := replayPath(vex, descs)
+			if err != nil {
+				return err
+			}
+			if results[v.name] == nil {
+				results[v.name] = make(map[string]cell)
+			}
+			results[v.name][ds] = cell{sum.DistinctAttributes, sum.TotalUtility, sum.AvgDiversity}
+		}
+	}
+	for _, v := range variants {
+		for _, ds := range []string{"Movielens", "Yelp"} {
+			c := results[v.name][ds]
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.3f\n", v.name, ds, c.attrs, c.utility, c.diversity)
+		}
+	}
+	return tw.Flush()
+}
+
+// autoPathDescs generates the description sequence of a Fully-Automated
+// path with the given explorer.
+func autoPathDescs(ex *core.Explorer, steps int) ([]query.Description, error) {
+	sess, err := core.NewSession(ex, core.FullyAutomated, query.Description{})
+	if err != nil {
+		return nil, err
+	}
+	var descs []query.Description
+	for i := 0; i < steps; i++ {
+		res, err := sess.Step()
+		if err != nil {
+			return nil, err
+		}
+		descs = append(descs, res.Desc)
+		if i == steps-1 || len(res.Recommendations) == 0 {
+			break
+		}
+		if err := sess.Apply(res.Recommendations[0].Op); err != nil {
+			return nil, err
+		}
+	}
+	return descs, nil
+}
+
+// replayPath walks a fixed description sequence under the explorer's own
+// configuration (User-Driven: no recommendations are computed) and returns
+// the path summary.
+func replayPath(ex *core.Explorer, descs []query.Description) (core.PathSummary, error) {
+	sess, err := core.NewSession(ex, core.UserDriven, query.Description{})
+	if err != nil {
+		return core.PathSummary{}, err
+	}
+	for _, d := range descs {
+		if err := sess.ApplyDescription(d); err != nil {
+			return core.PathSummary{}, err
+		}
+		if _, err := sess.Step(); err != nil {
+			return core.PathSummary{}, err
+		}
+	}
+	return sess.Summarize(), nil
+}
+
+// Fig9 reproduces the rating-dimension balance experiment on Yelp (4
+// dimensions): the number of displayed rating maps per dimension over a
+// Fully-Automated path, with and without the dimension-weighted utility of
+// Equation 1.
+func Fig9(p Params) error {
+	header(p.Out, "Figure 9: Rating maps per dimension, with vs without dimension weights (Yelp)")
+	tw := newTab(p.Out)
+	fmt.Fprintln(tw, "Variant\toverall\tfood\tservice\tambiance")
+	// Fix the path once, then replay under both weighting variants.
+	base, _, err := buildScenarioI("Yelp", p, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	descs, err := autoPathDescs(base, scenarioIPathLen)
+	if err != nil {
+		return err
+	}
+	for _, weighted := range []bool{true, false} {
+		cfg := core.DefaultConfig()
+		cfg.Engine.Utility.DisableDimensionWeights = !weighted
+		ex, _, err := buildScenarioI("Yelp", p, cfg)
+		if err != nil {
+			return err
+		}
+		sum, err := replayPath(ex, descs)
+		if err != nil {
+			return err
+		}
+		label := "with DW weights"
+		if !weighted {
+			label = "without weights"
+		}
+		fmt.Fprintf(tw, "%s", label)
+		for d := 0; d < 4; d++ {
+			fmt.Fprintf(tw, "\t%d", sum.MapsPerDimension[d])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Ablation reproduces the §5.2.3 "Utility criteria" study: Fully-Automated
+// paths generated with single-criterion utilities and with the average
+// aggregation, scored on the Scenario I task, against the paper's finding
+// that every variant is inferior to the max-of-all-criteria utility.
+func Ablation(p Params) error {
+	header(p.Out, "§5.2.3 ablation: utility-criteria variants (avg # identified irregular groups)")
+	tw := newTab(p.Out)
+	fmt.Fprintln(tw, "Utility variant\tMovielens\tYelp")
+	variants := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"max of all criteria (paper)", func(c *core.Config) {}},
+		{"average of all criteria", func(c *core.Config) {
+			c.Engine.Utility.Aggregation = ratingmap.AggAvg
+		}},
+		{"conciseness only", func(c *core.Config) {
+			c.Engine.Utility.Aggregation = ratingmap.AggSingle
+			c.Engine.Utility.Single = ratingmap.Conciseness
+		}},
+		{"agreement only", func(c *core.Config) {
+			c.Engine.Utility.Aggregation = ratingmap.AggSingle
+			c.Engine.Utility.Single = ratingmap.Agreement
+		}},
+		{"self-peculiarity only", func(c *core.Config) {
+			c.Engine.Utility.Aggregation = ratingmap.AggSingle
+			c.Engine.Utility.Single = ratingmap.PecSelf
+		}},
+		{"global-peculiarity only", func(c *core.Config) {
+			c.Engine.Utility.Aggregation = ratingmap.AggSingle
+			c.Engine.Utility.Single = ratingmap.PecGlobal
+		}},
+		{"KL peculiarity (§4.1 alternative)", func(c *core.Config) {
+			c.Engine.Utility.Peculiarity = ratingmap.PecKL
+		}},
+	}
+	for _, v := range variants {
+		var scores [2]float64
+		for di, ds := range []string{"Movielens", "Yelp"} {
+			cfg := studyConfig()
+			v.mut(&cfg)
+			ex, groups, err := buildScenarioI(ds, p, cfg)
+			if err != nil {
+				return err
+			}
+			det := &study.IrregularDetector{Groups: groups}
+			path, err := study.GeneratePath(ex, study.SubdexSource{}, scenarioIPathLen)
+			if err != nil {
+				return err
+			}
+			scores[di] = study.ScorePath(ex, det, path, p.subjects(), p.seed()+1500)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\n", v.name, scores[0], scores[1])
+	}
+	return tw.Flush()
+}

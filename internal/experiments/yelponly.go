@@ -1,0 +1,10 @@
+package experiments
+
+// Fig7YelpOnly runs only the Yelp half of Figure 7 (calibration helper,
+// reachable via `sdebench -run fig7yelp`).
+func Fig7YelpOnly(p Params) error {
+	if err := fig7Scenario(p, "Yelp", 1); err != nil {
+		return err
+	}
+	return fig7Scenario(p, "Yelp", 2)
+}

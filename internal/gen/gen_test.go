@@ -1,0 +1,229 @@
+package gen
+
+import (
+	"testing"
+
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := Movielens(Config{Seed: 4, Scale: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Movielens(Config{Seed: 4, Scale: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ratings.Len() != b.Ratings.Len() {
+		t.Fatal("same seed must produce same record count")
+	}
+	for r := 0; r < a.Ratings.Len(); r++ {
+		if a.Ratings.Scores[0][r] != b.Ratings.Scores[0][r] {
+			t.Fatalf("scores diverge at record %d", r)
+		}
+	}
+	c, err := Movielens(Config{Seed: 5, Scale: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.Ratings.Len() == c.Ratings.Len()
+	if same {
+		diff := false
+		for r := 0; r < a.Ratings.Len(); r++ {
+			if a.Ratings.Scores[0][r] != c.Ratings.Scores[0][r] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical data")
+		}
+	}
+}
+
+func TestSchemaShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		gen     func(Config) (*dataset.DB, error)
+		atts    int
+		dims    int
+		maxVals int // at full scale; small scale may undershoot
+	}{
+		{"Movielens", Movielens, 12, 1, 29},
+		{"Yelp", Yelp, 24, 4, 13},
+		{"Hotels", Hotels, 8, 4, 62},
+	}
+	for _, tc := range cases {
+		db, err := tc.gen(Config{Seed: 2, Scale: 0.02})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		s := db.Stats()
+		if s.NumAttributes != tc.atts {
+			t.Errorf("%s: attributes = %d, want %d", tc.name, s.NumAttributes, tc.atts)
+		}
+		if s.NumDimensions != tc.dims {
+			t.Errorf("%s: dimensions = %d, want %d", tc.name, s.NumDimensions, tc.dims)
+		}
+		if s.MaxNumValues > tc.maxVals {
+			t.Errorf("%s: max values = %d exceeds paper's %d", tc.name, s.MaxNumValues, tc.maxVals)
+		}
+		if !db.Frozen() {
+			t.Errorf("%s: generator must freeze", tc.name)
+		}
+	}
+}
+
+func TestScoresInScale(t *testing.T) {
+	db, err := Yelp(Config{Seed: 6, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, dim := range db.Ratings.Dimensions {
+		for r := 0; r < db.Ratings.Len(); r++ {
+			s := db.Ratings.Scores[d][r]
+			if s < 1 || int(s) > dim.Scale {
+				t.Fatalf("score %d out of 1..%d at dim %d record %d", s, dim.Scale, d, r)
+			}
+		}
+	}
+}
+
+func TestPlantIrregularGroups(t *testing.T) {
+	db, err := Movielens(Config{Seed: 4, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := PlantIrregularGroups(db, 99, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (one per side)", len(groups))
+	}
+	sides := map[query.Side]bool{}
+	for _, g := range groups {
+		sides[g.Side] = true
+		if n := len(g.Selectors); n < 2 || n > 3 {
+			t.Errorf("group described by %d pairs, want 2-3", n)
+		}
+		if g.NumEntities < 5 {
+			t.Errorf("group has %d entities, want ≥ 5", g.NumEntities)
+		}
+		if g.NumRecords == 0 {
+			t.Error("group covers no records")
+		}
+		// Every record of every member entity must have score 1 on the dim.
+		var t2 *dataset.EntityTable
+		if g.Side == query.ReviewerSide {
+			t2 = db.Reviewers
+		} else {
+			t2 = db.Items
+		}
+		members := matchingRows(t2, g.Selectors)
+		if len(members) != g.NumEntities {
+			t.Errorf("ground truth entity count mismatch: %d vs %d", len(members), g.NumEntities)
+		}
+		for _, row := range members {
+			var recs []int32
+			if g.Side == query.ReviewerSide {
+				recs = db.RecordsOfReviewer(row)
+			} else {
+				recs = db.RecordsOfItem(row)
+			}
+			for _, r := range recs {
+				if db.Ratings.Scores[g.Dim][r] != 1 {
+					t.Fatalf("member record %d has score %d on dim %d, want 1",
+						r, db.Ratings.Scores[g.Dim][r], g.Dim)
+				}
+			}
+		}
+	}
+	if !sides[query.ReviewerSide] || !sides[query.ItemSide] {
+		t.Error("one group per side expected")
+	}
+}
+
+func TestPlantRequiresFrozen(t *testing.T) {
+	db, _ := Movielens(Config{Seed: 4, Scale: 0.03})
+	raw := dataset.NewDB("raw", db.Reviewers, db.Items, db.Ratings)
+	if _, err := PlantIrregularGroups(raw, 1, 1, 5); err == nil {
+		t.Fatal("unfrozen database must be rejected")
+	}
+}
+
+func TestInsightPlantingVerifies(t *testing.T) {
+	insights := YelpInsights()
+	db, err := Yelp(Config{Seed: 8, Scale: 0.1, ForcedBiases: InsightBiases(insights)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified := 0
+	for _, in := range insights {
+		ok, err := VerifyInsight(db, in, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", in.ID, err)
+		}
+		if ok {
+			verified++
+		}
+	}
+	// All five should typically hold; demand at least four (value presence
+	// at reduced scale is stochastic).
+	if verified < 4 {
+		t.Errorf("only %d/%d planted insights verified", verified, len(insights))
+	}
+}
+
+func TestInsightsNotPresentWithoutPlanting(t *testing.T) {
+	// Without forced biases most insights should NOT hold — the planting
+	// must be the cause.
+	db, err := Yelp(Config{Seed: 8, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds := 0
+	for _, in := range YelpInsights() {
+		if ok, _ := VerifyInsight(db, in, 10); ok {
+			holds++
+		}
+	}
+	if holds > 2 {
+		t.Errorf("%d insights hold without planting; expected ≤ 2 by chance", holds)
+	}
+}
+
+func TestMovielensInsightSet(t *testing.T) {
+	ins := MovielensInsights()
+	if len(ins) != 5 {
+		t.Fatalf("movielens insights = %d, want 5", len(ins))
+	}
+	for _, in := range ins {
+		if in.Statement == "" || in.Attr == "" || in.Value == "" {
+			t.Errorf("%s: incomplete insight", in.ID)
+		}
+		fb := in.ForcedBias()
+		if in.Lowest && fb.Bias >= 0 || !in.Lowest && fb.Bias <= 0 {
+			t.Errorf("%s: bias direction wrong", in.ID)
+		}
+	}
+}
+
+func TestGenerateReviews(t *testing.T) {
+	c := GenerateReviews(7, 25, []string{"food", "service"})
+	if len(c.Texts) != 25 || len(c.Truth) != 25 {
+		t.Fatalf("corpus sizes: %d texts, %d truths", len(c.Texts), len(c.Truth))
+	}
+	for i, text := range c.Texts {
+		if text == "" {
+			t.Fatalf("empty review at %d", i)
+		}
+		for d, s := range c.Truth[i] {
+			if s < 1 || s > 5 {
+				t.Fatalf("latent score out of range: %s=%d", d, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subdex/internal/dataset"
+)
+
+// Hotels generates a Hotel-Reviews-shaped database (Table 2 row 3): 15,493
+// reviewers, 879 hotels, 35,912 records with 4 rating dimensions (overall
+// plus the cleanliness/food/comfort dimensions the paper extracted from
+// review text), 8 objective attributes in total, maximum value cardinality
+// 62 (hotel city).
+func Hotels(cfg Config) (*dataset.DB, error) {
+	rng := rand.New(rand.NewSource(cfg.seed() + 200))
+	s := cfg.scale()
+
+	nU := scaleN(15_493, s, 40)
+	nI := scaleN(879, s, 25)
+	nR := scaleN(35_912, s, 300)
+
+	reviewerSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "traveler_type"},
+		dataset.Attribute{Name: "age_group"},
+		dataset.Attribute{Name: "home_country"},
+		dataset.Attribute{Name: "loyalty_tier"},
+	)
+	itemSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "city"},
+		dataset.Attribute{Name: "star_class"},
+		dataset.Attribute{Name: "chain"},
+		dataset.Attribute{Name: "amenity", Kind: dataset.MultiValued},
+	)
+
+	travelerTypes := []string{"business", "couple", "family", "solo", "group"}
+	ageGroups := []string{"young", "adult", "middle_aged", "senior"}
+	countries := []string{"US", "UK", "DE", "FR", "CA", "AU", "JP", "BR", "IN", "MX"}
+	tiers := []string{"none", "silver", "gold", "platinum"}
+
+	hotelCities := seq("hcity_", 62) // 62 values: the Table 2 max cardinality
+	starClasses := []string{"1", "2", "3", "4", "5"}
+	chains := []string{"independent", "northstar", "bluepeak", "grandline", "resthaven", "citynest"}
+	amenities := []string{"pool", "spa", "gym", "breakfast", "parking", "wifi", "bar", "shuttle"}
+
+	reviewers := dataset.NewEntityTable("reviewers", reviewerSchema)
+	for u := 0; u < nU; u++ {
+		if _, err := reviewers.AppendRow(fmt.Sprintf("u%d", u+1), map[string]string{
+			"traveler_type": pick(rng, travelerTypes),
+			"age_group":     pickWeighted(rng, ageGroups, []float64{0.25, 0.3, 0.28, 0.17}),
+			"home_country":  pickWeighted(rng, countries, []float64{0.4, 0.12, 0.1, 0.08, 0.08, 0.06, 0.05, 0.04, 0.04, 0.03}),
+			"loyalty_tier":  pickWeighted(rng, tiers, []float64{0.55, 0.25, 0.15, 0.05}),
+		}, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	items := dataset.NewEntityTable("items", itemSchema)
+	for i := 0; i < nI; i++ {
+		nAmen := 2 + rng.Intn(4)
+		as := make([]string, 0, nAmen)
+		seen := map[string]bool{}
+		for len(as) < nAmen {
+			a := pick(rng, amenities)
+			if !seen[a] {
+				seen[a] = true
+				as = append(as, a)
+			}
+		}
+		if _, err := items.AppendRow(fmt.Sprintf("h%d", i+1), map[string]string{
+			"city":       pick(rng, hotelCities),
+			"star_class": pickWeighted(rng, starClasses, []float64{0.05, 0.15, 0.35, 0.3, 0.15}),
+			"chain":      pickWeighted(rng, chains, []float64{0.4, 0.15, 0.12, 0.12, 0.11, 0.1}),
+		}, map[string][]string{"amenity": as}); err != nil {
+			return nil, err
+		}
+	}
+
+	ratings, err := dataset.NewRatingTable(
+		dataset.Dimension{Name: "overall", Scale: 5},
+		dataset.Dimension{Name: "cleanliness", Scale: 5},
+		dataset.Dimension{Name: "food", Scale: 5},
+		dataset.Dimension{Name: "comfort", Scale: 5},
+	)
+	if err != nil {
+		return nil, err
+	}
+	bias := newBiasModel(rand.New(rand.NewSource(cfg.seed()+27)), 0.6)
+	cfg.apply(bias)
+	if err := fillRatings(rng, bias, reviewers, items, ratings, nR, 1); err != nil {
+		return nil, err
+	}
+
+	db := dataset.NewDB("HotelReviews", reviewers, items, ratings)
+	if err := db.Freeze(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

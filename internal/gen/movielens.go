@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+)
+
+// Movielens generates a MovieLens-100K-shaped database (Table 2 row 1):
+// 943 reviewers, 1682 movies, 100K single-dimension ratings on a 1..5
+// scale, 12 objective attributes in total, with the largest value
+// cardinality 29 (release_year), mirroring the enrichment the paper applied
+// (city/state/age_group from zip and age; release year and decade from the
+// release date).
+func Movielens(cfg Config) (*dataset.DB, error) {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	s := cfg.scale()
+
+	nU := scaleN(943, s, 20)
+	nI := scaleN(1682, s, 30)
+	nR := scaleN(100_000, s, 400)
+
+	reviewerSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "gender"},
+		dataset.Attribute{Name: "age_group"},
+		dataset.Attribute{Name: "occupation"},
+		dataset.Attribute{Name: "state"},
+		dataset.Attribute{Name: "city"},
+		dataset.Attribute{Name: "zip_region"},
+	)
+	itemSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "genre", Kind: dataset.MultiValued},
+		dataset.Attribute{Name: "release_year"},
+		dataset.Attribute{Name: "decade"},
+		dataset.Attribute{Name: "era"},
+		dataset.Attribute{Name: "language"},
+		dataset.Attribute{Name: "length_class"},
+	)
+
+	genders := []string{"M", "F", "unspecified"}
+	ageGroups := []string{"teen", "young", "adult", "middle_aged", "senior"}
+	occupations := []string{
+		"student", "programmer", "engineer", "educator", "administrator",
+		"writer", "artist", "librarian", "technician", "executive", "scientist",
+		"entertainment", "marketing", "healthcare", "retired", "lawyer",
+		"salesman", "doctor", "homemaker", "none", "other",
+	} // 21 values, matching MovieLens
+	states := []string{"CA", "NY", "TX", "IL", "MN", "WA", "MA", "FL", "PA", "OH", "GA", "MI"}
+	cities := seq("city_", 25)
+	zipRegions := seq("zip_", 10)
+
+	genres := []string{
+		"action", "adventure", "animation", "children", "comedy", "crime",
+		"documentary", "drama", "fantasy", "film-noir", "horror", "musical",
+		"mystery", "romance", "sci-fi", "thriller", "war", "western",
+	} // 18 genres, matching MovieLens
+	releaseYears := years(1970, 29) // 29 values: the Table 2 max cardinality
+	languages := []string{"english", "french", "spanish", "german", "japanese", "italian"}
+	lengthClasses := []string{"short", "standard", "long", "epic"}
+
+	reviewers := dataset.NewEntityTable("reviewers", reviewerSchema)
+	for u := 0; u < nU; u++ {
+		if _, err := reviewers.AppendRow(fmt.Sprintf("u%d", u+1), map[string]string{
+			"gender":     pickWeighted(rng, genders, []float64{0.55, 0.40, 0.05}),
+			"age_group":  pickWeighted(rng, ageGroups, []float64{0.1, 0.35, 0.25, 0.2, 0.1}),
+			"occupation": pick(rng, occupations),
+			"state":      pick(rng, states),
+			"city":       pick(rng, cities),
+			"zip_region": pick(rng, zipRegions),
+		}, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	items := dataset.NewEntityTable("items", itemSchema)
+	for i := 0; i < nI; i++ {
+		yr := pick(rng, releaseYears)
+		decade := decadeOf(yr)
+		era := "classic"
+		if decade == "1990s" {
+			era = "modern"
+		}
+		nGenres := 1 + rng.Intn(3)
+		gs := make([]string, 0, nGenres)
+		seen := map[string]bool{}
+		for len(gs) < nGenres {
+			g := pick(rng, genres)
+			if !seen[g] {
+				seen[g] = true
+				gs = append(gs, g)
+			}
+		}
+		if _, err := items.AppendRow(fmt.Sprintf("m%d", i+1), map[string]string{
+			"release_year": yr,
+			"decade":       decade,
+			"era":          era,
+			"language":     pickWeighted(rng, languages, []float64{0.7, 0.08, 0.07, 0.05, 0.05, 0.05}),
+			"length_class": pickWeighted(rng, lengthClasses, []float64{0.1, 0.6, 0.25, 0.05}),
+		}, map[string][]string{"genre": gs}); err != nil {
+			return nil, err
+		}
+	}
+
+	ratings, err := dataset.NewRatingTable(dataset.Dimension{Name: "overall", Scale: 5})
+	if err != nil {
+		return nil, err
+	}
+	bias := newBiasModel(rand.New(rand.NewSource(cfg.seed()+7)), 0.6)
+	cfg.apply(bias)
+	if err := fillRatings(rng, bias, reviewers, items, ratings, nR, 20); err != nil {
+		return nil, err
+	}
+
+	db := dataset.NewDB("Movielens", reviewers, items, ratings)
+	if err := db.Freeze(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func decadeOf(year string) string {
+	if len(year) != 4 {
+		return "1990s"
+	}
+	return year[:3] + "0s"
+}
+
+// fillRatings draws nR rating records. Every reviewer gets at least
+// minPerReviewer ratings when the record budget allows (MovieLens keeps
+// only reviewers with ≥20 ratings); the remainder follows a long-tailed
+// activity distribution.
+func fillRatings(rng *rand.Rand, bias *biasModel, reviewers, items *dataset.EntityTable,
+	ratings *dataset.RatingTable, nR, minPerReviewer int) error {
+	nU, nI := reviewers.Len(), items.Len()
+	if nU == 0 || nI == 0 {
+		return fmt.Errorf("gen: cannot rate with %d reviewers and %d items", nU, nI)
+	}
+	dims := len(ratings.Dimensions)
+	scores := make([]dataset.Score, dims)
+
+	rate := func(u int) error {
+		i := rng.Intn(nI)
+		for d := 0; d < dims; d++ {
+			center := 3.0 +
+				bias.entityBias(query.ReviewerSide, reviewers, u, d) +
+				bias.entityBias(query.ItemSide, items, i, d)
+			scores[d] = score(rng, ratings.Dimensions[d].Scale, center)
+		}
+		return ratings.Append(u, i, scores)
+	}
+
+	base := minPerReviewer * nU
+	if base > nR {
+		minPerReviewer = nR / nU
+		base = minPerReviewer * nU
+	}
+	for u := 0; u < nU; u++ {
+		for j := 0; j < minPerReviewer; j++ {
+			if err := rate(u); err != nil {
+				return err
+			}
+		}
+	}
+	mean := float64(nR-base) / float64(nU)
+	for ratings.Len() < nR {
+		u := rng.Intn(nU)
+		n := 1
+		if mean > 1 {
+			n = zipfish(rng, mean/2)
+		}
+		for j := 0; j < n && ratings.Len() < nR; j++ {
+			if err := rate(u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+)
+
+// IrregularGroup is the Scenario I workload unit (§5.2): a reviewer or item
+// group described by two or three attribute-value pairs, whose rating
+// records for one dimension have all been set to the minimal value 1.
+type IrregularGroup struct {
+	Side      query.Side
+	Selectors []query.Selector
+	Dim       int
+	// NumEntities and NumRecords report the planted blast radius.
+	NumEntities int
+	NumRecords  int
+}
+
+// Description returns the group's conjunctive description.
+func (g IrregularGroup) Description() query.Description {
+	return query.MustDescription(g.Selectors...)
+}
+
+func (g IrregularGroup) String() string {
+	return fmt.Sprintf("irregular %s group %s on dim %d (%d entities, %d records)",
+		g.Side, g.Description(), g.Dim, g.NumEntities, g.NumRecords)
+}
+
+// PlantIrregularGroups mutates the database to contain count irregular
+// groups per side (reviewer and item), each described by 2-3 uniformly
+// chosen attribute-value pairs covering at least minEntities entities, as
+// in the paper's Scenario I setup (≥5 reviewers or items per group). To
+// keep the task realistic the group is also bounded above at 4×min (a
+// group spanning a large share of the database would be unmissable and
+// distort every aggregate). The database must be frozen. Returns the
+// ground truth.
+func PlantIrregularGroups(db *dataset.DB, seed int64, perSide, minEntities int) ([]IrregularGroup, error) {
+	if !db.Frozen() {
+		return nil, fmt.Errorf("gen: database must be frozen before planting")
+	}
+	if minEntities <= 0 {
+		minEntities = 5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []IrregularGroup
+	for _, side := range []query.Side{query.ReviewerSide, query.ItemSide} {
+		t := db.Reviewers
+		if side == query.ItemSide {
+			t = db.Items
+		}
+		// Cap the group at 4×min or 4% of the table, whichever is larger,
+		// so planted groups stay findable but not dominant on tables of
+		// any cardinality; additionally require a minimum share of the
+		// rating records (an irregular group owning a handful of records
+		// in a 200K-record database is undetectable by any method, human
+		// or otherwise).
+		maxEntities := 4 * minEntities
+		if rel := t.Len() / 25; rel > maxEntities {
+			maxEntities = rel
+		}
+		minRecords := db.Ratings.Len() / 150
+		if minRecords < 10 {
+			minRecords = 10
+		}
+		for g := 0; g < perSide; g++ {
+			ig, err := plantOne(db, rng, side, minEntities, maxEntities, minRecords)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, ig)
+		}
+	}
+	return out, nil
+}
+
+func plantOne(db *dataset.DB, rng *rand.Rand, side query.Side, minEntities, maxEntities, minRecords int) (IrregularGroup, error) {
+	var t *dataset.EntityTable
+	if side == query.ReviewerSide {
+		t = db.Reviewers
+	} else {
+		t = db.Items
+	}
+	// Try random 2-3 pair descriptions until one covers enough entities
+	// with at least one record. Relax to 2 pairs after repeated failures.
+	const maxTries = 4000
+	for try := 0; try < maxTries; try++ {
+		nPairs := 2 + rng.Intn(2)
+		if try > maxTries/2 {
+			nPairs = 2
+		}
+		attrs := rng.Perm(t.Schema.Len())
+		if len(attrs) < nPairs {
+			return IrregularGroup{}, fmt.Errorf("gen: %s has %d attributes, need %d", side, len(attrs), nPairs)
+		}
+		sels := make([]query.Selector, 0, nPairs)
+		// Anchor on a random entity so the conjunction is satisfiable.
+		row := rng.Intn(t.Len())
+		ok := true
+		for _, a := range attrs[:nPairs] {
+			var value string
+			switch t.Schema.At(a).Kind {
+			case dataset.Atomic:
+				v := t.AtomicValue(a, row)
+				if v == dataset.MissingValue {
+					ok = false
+				} else {
+					value = t.Dict(a).Value(v)
+				}
+			case dataset.MultiValued:
+				vs := t.MultiValues(a, row)
+				if len(vs) == 0 {
+					ok = false
+				} else {
+					value = t.Dict(a).Value(vs[rng.Intn(len(vs))])
+				}
+			}
+			if !ok {
+				break
+			}
+			sels = append(sels, query.Selector{Side: side, Attr: t.Schema.At(a).Name, Value: value})
+		}
+		if !ok {
+			continue
+		}
+		members := matchingRows(t, sels)
+		if len(members) < minEntities || len(members) > maxEntities {
+			continue
+		}
+		// Count records before mutating; skip undetectably small groups.
+		records := 0
+		for _, row := range members {
+			if side == query.ReviewerSide {
+				records += len(db.RecordsOfReviewer(row))
+			} else {
+				records += len(db.RecordsOfItem(row))
+			}
+		}
+		if records < minRecords {
+			if try > 3*maxTries/4 {
+				// Relax on stubborn schemas rather than fail.
+				if records == 0 {
+					continue
+				}
+			} else {
+				continue
+			}
+		}
+		dim := rng.Intn(len(db.Ratings.Dimensions))
+		for _, row := range members {
+			var recs []int32
+			if side == query.ReviewerSide {
+				recs = db.RecordsOfReviewer(row)
+			} else {
+				recs = db.RecordsOfItem(row)
+			}
+			for _, r := range recs {
+				db.Ratings.Scores[dim][r] = 1
+			}
+		}
+		return IrregularGroup{
+			Side: side, Selectors: sels, Dim: dim,
+			NumEntities: len(members), NumRecords: records,
+		}, nil
+	}
+	return IrregularGroup{}, fmt.Errorf("gen: no %s group with ≥%d entities found after %d tries",
+		side, minEntities, maxTries)
+}
+
+// matchingRows scans the table for rows satisfying all selectors.
+func matchingRows(t *dataset.EntityTable, sels []query.Selector) []int {
+	var out []int
+rows:
+	for row := 0; row < t.Len(); row++ {
+		for _, s := range sels {
+			a := t.Schema.Index(s.Attr)
+			v, ok := t.Dict(a).Lookup(s.Value)
+			if !ok || !t.HasValue(a, row, v) {
+				continue rows
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Insight is the Scenario II workload unit: a verifiable fact of the form
+// "among the values of Attr, Value has the extreme average score on
+// dimension Dim" — the shape of the insights the paper drew from Kaggle EDA
+// notebooks (e.g. "programmers gave the lowest overall ratings").
+type Insight struct {
+	ID        string
+	Side      query.Side
+	Attr      string
+	Value     string
+	Dim       int
+	Lowest    bool // extreme direction; false means highest
+	Statement string
+}
+
+func (in Insight) String() string { return fmt.Sprintf("%s: %s", in.ID, in.Statement) }
+
+// ForcedBias returns the generation-time bias that plants this insight.
+// The magnitude is chosen so that, after the generator's per-attribute
+// averaging, the planted value shifts its subgroup's mean by roughly a full
+// rating point — a clear extreme bar, as the Kaggle-notebook insights the
+// paper uses are clear-cut facts.
+func (in Insight) ForcedBias() ForcedBias {
+	b := 4.0
+	if in.Lowest {
+		b = -4.0
+	}
+	return ForcedBias{Side: in.Side, Attr: in.Attr, Value: in.Value, Dim: in.Dim, Bias: b}
+}
+
+// MovielensInsights are the five insights planted in the Movielens
+// generator for Scenario II.
+func MovielensInsights() []Insight {
+	return []Insight{
+		{ID: "ML-1", Side: query.ReviewerSide, Attr: "occupation", Value: "programmer", Dim: 0, Lowest: true,
+			Statement: "programmers give the lowest overall ratings among occupations"},
+		{ID: "ML-2", Side: query.ItemSide, Attr: "genre", Value: "film-noir", Dim: 0, Lowest: false,
+			Statement: "film-noir is the highest-rated genre"},
+		{ID: "ML-3", Side: query.ReviewerSide, Attr: "age_group", Value: "senior", Dim: 0, Lowest: false,
+			Statement: "seniors give the highest overall ratings among age groups"},
+		{ID: "ML-4", Side: query.ItemSide, Attr: "decade", Value: "1970s", Dim: 0, Lowest: false,
+			Statement: "1970s movies are rated highest among decades"},
+		{ID: "ML-5", Side: query.ReviewerSide, Attr: "state", Value: "MN", Dim: 0, Lowest: true,
+			Statement: "reviewers from MN give the lowest overall ratings among states"},
+	}
+}
+
+// YelpInsights are the five insights planted in the Yelp generator.
+func YelpInsights() []Insight {
+	return []Insight{
+		{ID: "YP-1", Side: query.ItemSide, Attr: "neighborhood", Value: "Williamsburg", Dim: 1, Lowest: false,
+			Statement: "Williamsburg restaurants get the highest food ratings among neighborhoods"},
+		{ID: "YP-2", Side: query.ReviewerSide, Attr: "age_group", Value: "young", Dim: 3, Lowest: true,
+			Statement: "young reviewers give the lowest ambiance ratings among age groups"},
+		{ID: "YP-3", Side: query.ItemSide, Attr: "cuisine", Value: "japanese", Dim: 2, Lowest: false,
+			Statement: "Japanese restaurants get the highest service ratings among cuisines"},
+		{ID: "YP-4", Side: query.ReviewerSide, Attr: "occupation", Value: "programmer", Dim: 0, Lowest: true,
+			Statement: "programmers give the lowest overall ratings among occupations"},
+		{ID: "YP-5", Side: query.ItemSide, Attr: "price_range", Value: "$$$$", Dim: 2, Lowest: false,
+			Statement: "$$$$ restaurants get the highest service ratings among price ranges"},
+	}
+}
+
+// InsightBiases converts a set of insights into the forced generation
+// biases to pass in Config.ForcedBiases.
+func InsightBiases(insights []Insight) []ForcedBias {
+	out := make([]ForcedBias, len(insights))
+	for i, in := range insights {
+		out[i] = in.ForcedBias()
+	}
+	return out
+}
+
+// VerifyInsight checks an insight holds in the generated database: among
+// the values of its attribute with at least minRecords records, its value
+// has the extreme mean score on its dimension.
+func VerifyInsight(db *dataset.DB, in Insight, minRecords int) (bool, error) {
+	var t *dataset.EntityTable
+	var rowOf []int32
+	if in.Side == query.ReviewerSide {
+		t = db.Reviewers
+		rowOf = db.Ratings.Reviewer
+	} else {
+		t = db.Items
+		rowOf = db.Ratings.Item
+	}
+	a := t.Schema.Index(in.Attr)
+	if a < 0 {
+		return false, fmt.Errorf("gen: %s has no attribute %q", in.Side, in.Attr)
+	}
+	sums := make(map[dataset.ValueID]float64)
+	counts := make(map[dataset.ValueID]int)
+	kind := t.Schema.At(a).Kind
+	for r := 0; r < db.Ratings.Len(); r++ {
+		s := db.Ratings.Scores[in.Dim][r]
+		if s == 0 {
+			continue
+		}
+		row := int(rowOf[r])
+		switch kind {
+		case dataset.Atomic:
+			v := t.AtomicValue(a, row)
+			if v != dataset.MissingValue {
+				sums[v] += float64(s)
+				counts[v]++
+			}
+		case dataset.MultiValued:
+			for _, v := range t.MultiValues(a, row) {
+				sums[v] += float64(s)
+				counts[v]++
+			}
+		}
+	}
+	target, ok := t.Dict(a).Lookup(in.Value)
+	if !ok || counts[target] < minRecords {
+		return false, nil
+	}
+	targetMean := sums[target] / float64(counts[target])
+	for v, n := range counts {
+		if v == target || n < minRecords {
+			continue
+		}
+		mean := sums[v] / float64(n)
+		if in.Lowest && mean <= targetMean {
+			return false, nil
+		}
+		if !in.Lowest && mean >= targetMean {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Review text generation for the sentiment-extraction pipeline: given
+// latent per-dimension scores, produce free text whose phrasing encodes
+// them, so the VADER-style extractor recovers ratings that correlate with
+// the latent truth — the same role real Yelp review text played for the
+// paper.
+
+// phrase templates per dimension keyword; {adj} is replaced by a
+// sentiment-bearing adjective matched to the latent score.
+var reviewTemplates = map[string][]string{
+	"food": {
+		"the food was {adj}",
+		"we found the dishes truly {adj}",
+		"every meal tasted {adj} to us",
+		"the menu offered {adj} flavor",
+	},
+	"service": {
+		"the service was {adj}",
+		"our waiter was {adj} all evening",
+		"the staff seemed {adj} throughout",
+		"the server was {adj} with our orders",
+	},
+	"ambiance": {
+		"the ambiance felt {adj}",
+		"the atmosphere was {adj}",
+		"the decor looked {adj}",
+		"an overall {adj} vibe in the interior",
+	},
+	"cleanliness": {
+		"the housekeeping was {adj}",
+		"cleanliness of the room was {adj}",
+	},
+	"comfort": {
+		"the bed was {adj}",
+		"comfort in the room felt {adj}",
+	},
+}
+
+// adjectivesByScore maps a 1..5 latent score to adjective pools whose
+// lexicon valences land the extracted compound in the right band.
+var adjectivesByScore = map[int][]string{
+	1: {"terrible", "horrible", "awful", "disgusting", "dreadful", "abysmal"},
+	2: {"bad", "poor", "disappointing", "mediocre", "bland"},
+	// Latent 3 uses neutral words outside the sentiment lexicon: a zero
+	// compound maps exactly to the scale midpoint.
+	3: {"okay", "average", "ordinary"},
+	4: {"good", "nice", "pleasant", "tasty", "friendly", "comfortable"},
+	5: {"amazing", "excellent", "outstanding", "fantastic", "wonderful", "perfect"},
+}
+
+var fillerSentences = []string{
+	"We visited on a rainy Tuesday.",
+	"Parking nearby took a while to find.",
+	"My cousin recommended this place last month.",
+	"We ordered two appetizers and a dessert.",
+	"The bill arrived quickly at the end.",
+	"It was busier than we expected for a weekday.",
+}
+
+// ReviewText composes a free-text review whose per-dimension phrasing
+// encodes the given latent scores (dimension name → score in 1..5).
+// Dimensions without a template are skipped.
+func ReviewText(rng *rand.Rand, scores map[string]int) string {
+	var parts []string
+	parts = append(parts, fillerSentences[rng.Intn(len(fillerSentences))])
+	for dim, sc := range scores {
+		templates, ok := reviewTemplates[dim]
+		if !ok {
+			continue
+		}
+		if sc < 1 {
+			sc = 1
+		}
+		if sc > 5 {
+			sc = 5
+		}
+		adjs := adjectivesByScore[sc]
+		t := templates[rng.Intn(len(templates))]
+		sentence := strings.ReplaceAll(t, "{adj}", adjs[rng.Intn(len(adjs))])
+		// Occasionally intensify, the way real reviewers do.
+		if rng.Float64() < 0.3 {
+			sentence = strings.Replace(sentence, "was ", "was really ", 1)
+		}
+		parts = append(parts, upperFirst(sentence)+".")
+	}
+	parts = append(parts, fillerSentences[rng.Intn(len(fillerSentences))])
+	return strings.Join(parts, " ")
+}
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// ReviewCorpus pairs generated review text with its latent ground truth.
+type ReviewCorpus struct {
+	Texts  []string
+	Truth  []map[string]int
+	Scales int
+}
+
+// GenerateReviews produces n reviews over the given dimensions with
+// uniformly drawn latent scores.
+func GenerateReviews(seed int64, n int, dims []string) *ReviewCorpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &ReviewCorpus{Scales: 5}
+	for i := 0; i < n; i++ {
+		truth := make(map[string]int, len(dims))
+		for _, d := range dims {
+			truth[d] = 1 + rng.Intn(5)
+		}
+		c.Texts = append(c.Texts, ReviewText(rng, truth))
+		c.Truth = append(c.Truth, truth)
+	}
+	return c
+}

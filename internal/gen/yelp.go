@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subdex/internal/dataset"
+)
+
+// Yelp generates a Yelp-restaurant-shaped database (Table 2 row 2): 150,318
+// reviewers, 93 restaurants, 200,500 rating records with 4 rating
+// dimensions (overall plus the food/service/ambiance dimensions the paper
+// extracted from review text), 24 objective attributes in total, maximum
+// value cardinality 13.
+func Yelp(cfg Config) (*dataset.DB, error) {
+	rng := rand.New(rand.NewSource(cfg.seed() + 100))
+	s := cfg.scale()
+
+	nU := scaleN(150_318, s, 60)
+	nI := scaleN(93, s, 12)
+	nR := scaleN(200_500, s, 500)
+
+	reviewerSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "gender"},
+		dataset.Attribute{Name: "age_group"},
+		dataset.Attribute{Name: "occupation"},
+		dataset.Attribute{Name: "state"},
+		dataset.Attribute{Name: "city"},
+		dataset.Attribute{Name: "income_bracket"},
+		dataset.Attribute{Name: "dining_frequency"},
+		dataset.Attribute{Name: "membership"},
+		dataset.Attribute{Name: "device"},
+		dataset.Attribute{Name: "signup_year"},
+		dataset.Attribute{Name: "review_count_class"},
+		dataset.Attribute{Name: "social_activity"},
+	)
+	itemSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "cuisine", Kind: dataset.MultiValued},
+		dataset.Attribute{Name: "neighborhood"},
+		dataset.Attribute{Name: "price_range"},
+		dataset.Attribute{Name: "noise_level"},
+		dataset.Attribute{Name: "parking"},
+		dataset.Attribute{Name: "reservations"},
+		dataset.Attribute{Name: "outdoor_seating"},
+		dataset.Attribute{Name: "alcohol"},
+		dataset.Attribute{Name: "wifi"},
+		dataset.Attribute{Name: "good_for_groups"},
+		dataset.Attribute{Name: "attire"},
+		dataset.Attribute{Name: "open_since"},
+	)
+
+	genders := []string{"male", "female", "unspecified"}
+	ageGroups := []string{"teen", "young", "adult", "middle_aged", "senior"}
+	occupations := []string{
+		"student", "programmer", "teacher", "nurse", "lawyer", "chef",
+		"designer", "manager", "driver", "artist", "accountant", "retired", "other",
+	} // 13 values: the Table 2 max cardinality
+	states := []string{"NY", "NJ", "CT", "PA", "MA"}
+	cities := []string{"NYC", "Brooklyn", "Jersey_City", "Hoboken", "Yonkers", "Newark"}
+	incomes := []string{"low", "lower_middle", "middle", "upper_middle", "high"}
+	frequencies := []string{"rarely", "monthly", "weekly", "several_weekly", "daily"}
+	memberships := []string{"none", "basic", "elite"}
+	devices := []string{"ios", "android", "web"}
+	signupYears := years(2010, 11)
+	reviewCounts := []string{"1-5", "6-20", "21-100", "100+"}
+	socialLevels := []string{"lurker", "casual", "active", "influencer"}
+
+	cuisines := []string{
+		"italian", "japanese", "mexican", "chinese", "american", "indian",
+		"thai", "french", "korean", "mediterranean", "vegan", "bbq", "seafood",
+	} // 13 values
+	neighborhoods := []string{
+		"Williamsburg", "SoHo", "Kips_Bay", "Tribeca", "Chelsea", "Midtown",
+		"Harlem", "Astoria", "East_Village", "Upper_West", "Financial", "Bushwick",
+	}
+	priceRanges := []string{"$", "$$", "$$$", "$$$$"}
+	noiseLevels := []string{"quiet", "average", "loud", "very_loud"}
+	yesNo := []string{"yes", "no"}
+	alcohol := []string{"none", "beer_wine", "full_bar"}
+	wifi := []string{"free", "paid", "no"}
+	attires := []string{"casual", "dressy", "formal"}
+	openSince := years(2005, 13)
+
+	reviewers := dataset.NewEntityTable("reviewers", reviewerSchema)
+	for u := 0; u < nU; u++ {
+		if _, err := reviewers.AppendRow(fmt.Sprintf("u%d", u+1), map[string]string{
+			"gender":             pickWeighted(rng, genders, []float64{0.42, 0.42, 0.16}),
+			"age_group":          pickWeighted(rng, ageGroups, []float64{0.08, 0.34, 0.28, 0.2, 0.1}),
+			"occupation":         pick(rng, occupations),
+			"state":              pickWeighted(rng, states, []float64{0.6, 0.15, 0.1, 0.1, 0.05}),
+			"city":               pickWeighted(rng, cities, []float64{0.5, 0.2, 0.1, 0.08, 0.07, 0.05}),
+			"income_bracket":     pick(rng, incomes),
+			"dining_frequency":   pick(rng, frequencies),
+			"membership":         pickWeighted(rng, memberships, []float64{0.7, 0.25, 0.05}),
+			"device":             pick(rng, devices),
+			"signup_year":        pick(rng, signupYears),
+			"review_count_class": pickWeighted(rng, reviewCounts, []float64{0.5, 0.3, 0.15, 0.05}),
+			"social_activity":    pick(rng, socialLevels),
+		}, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	items := dataset.NewEntityTable("items", itemSchema)
+	for i := 0; i < nI; i++ {
+		nCuisine := 1 + rng.Intn(2)
+		cs := make([]string, 0, nCuisine)
+		seen := map[string]bool{}
+		for len(cs) < nCuisine {
+			c := pick(rng, cuisines)
+			if !seen[c] {
+				seen[c] = true
+				cs = append(cs, c)
+			}
+		}
+		if _, err := items.AppendRow(fmt.Sprintf("r%d", i+1), map[string]string{
+			"neighborhood":    pick(rng, neighborhoods),
+			"price_range":     pickWeighted(rng, priceRanges, []float64{0.2, 0.45, 0.25, 0.1}),
+			"noise_level":     pick(rng, noiseLevels),
+			"parking":         pick(rng, yesNo),
+			"reservations":    pick(rng, yesNo),
+			"outdoor_seating": pick(rng, yesNo),
+			"alcohol":         pick(rng, alcohol),
+			"wifi":            pick(rng, wifi),
+			"good_for_groups": pick(rng, yesNo),
+			"attire":          pickWeighted(rng, attires, []float64{0.7, 0.25, 0.05}),
+			"open_since":      pick(rng, openSince),
+		}, map[string][]string{"cuisine": cs}); err != nil {
+			return nil, err
+		}
+	}
+
+	ratings, err := dataset.NewRatingTable(
+		dataset.Dimension{Name: "overall", Scale: 5},
+		dataset.Dimension{Name: "food", Scale: 5},
+		dataset.Dimension{Name: "service", Scale: 5},
+		dataset.Dimension{Name: "ambiance", Scale: 5},
+	)
+	if err != nil {
+		return nil, err
+	}
+	bias := newBiasModel(rand.New(rand.NewSource(cfg.seed()+17)), 0.6)
+	cfg.apply(bias)
+	if err := fillRatings(rng, bias, reviewers, items, ratings, nR, 1); err != nil {
+		return nil, err
+	}
+
+	db := dataset.NewDB("Yelp", reviewers, items, ratings)
+	if err := db.Freeze(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

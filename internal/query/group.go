@@ -1,0 +1,259 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"subdex/internal/dataset"
+)
+
+// RatingGroup is a materialized group g_R: the rating records whose reviewer
+// belongs to the reviewer group g_U and whose item belongs to the item group
+// g_I defined by a Description (§3.1).
+type RatingGroup struct {
+	Desc Description
+	// Records holds positions into the database's rating table, ascending.
+	Records []int32
+	// Reviewers and Items are the matching entity row sets.
+	Reviewers *Bitset
+	Items     *Bitset
+}
+
+// Len returns the number of rating records in the group.
+func (g *RatingGroup) Len() int { return len(g.Records) }
+
+// Engine materializes descriptions against a database, caching per-selector
+// entity bitsets (the dominant cost of repeated candidate evaluation during
+// recommendation building). The cache is guarded: the parallel
+// Recommendation Builder materializes many descriptions concurrently.
+type Engine struct {
+	DB *dataset.DB
+
+	mu       sync.RWMutex
+	selCache map[string]*Bitset
+	groups   *groupCache // optional whole-group cache (EnableGroupCache)
+}
+
+// NewEngine wraps a frozen database.
+func NewEngine(db *dataset.DB) (*Engine, error) {
+	if !db.Frozen() {
+		return nil, fmt.Errorf("query: database %q is not frozen", db.Name)
+	}
+	return &Engine{DB: db, selCache: make(map[string]*Bitset)}, nil
+}
+
+// table returns the entity table of a side.
+func (e *Engine) table(side Side) *dataset.EntityTable {
+	if side == ReviewerSide {
+		return e.DB.Reviewers
+	}
+	return e.DB.Items
+}
+
+// Validate checks that every selector references an existing attribute and a
+// registered value of that attribute.
+func (e *Engine) Validate(d Description) error {
+	for _, s := range d.Selectors() {
+		t := e.table(s.Side)
+		a := t.Schema.Index(s.Attr)
+		if a < 0 {
+			return fmt.Errorf("query: %s has no attribute %q", s.Side, s.Attr)
+		}
+		if _, ok := t.Dict(a).Lookup(s.Value); !ok {
+			return fmt.Errorf("query: %s.%s has no value %q", s.Side, s.Attr, s.Value)
+		}
+	}
+	return nil
+}
+
+// selectorBitset returns the entity rows matching one selector, cached.
+func (e *Engine) selectorBitset(s Selector) (*Bitset, error) {
+	e.mu.RLock()
+	b, ok := e.selCache[s.Key()]
+	e.mu.RUnlock()
+	if ok {
+		return b, nil
+	}
+	t := e.table(s.Side)
+	a := t.Schema.Index(s.Attr)
+	if a < 0 {
+		return nil, fmt.Errorf("query: %s has no attribute %q", s.Side, s.Attr)
+	}
+	v, ok := t.Dict(a).Lookup(s.Value)
+	if !ok {
+		return nil, fmt.Errorf("query: %s.%s has no value %q", s.Side, s.Attr, s.Value)
+	}
+	b = NewBitset(t.Len())
+	for row := 0; row < t.Len(); row++ {
+		if t.HasValue(a, row, v) {
+			b.Set(row)
+		}
+	}
+	e.mu.Lock()
+	e.selCache[s.Key()] = b
+	e.mu.Unlock()
+	return b, nil
+}
+
+// EntityGroup materializes one side of a description as a row bitset.
+func (e *Engine) EntityGroup(d Description, side Side) (*Bitset, error) {
+	sels := d.SideSelectors(side)
+	acc := FullBitset(e.table(side).Len())
+	for _, s := range sels {
+		b, err := e.selectorBitset(s)
+		if err != nil {
+			return nil, err
+		}
+		acc.IntersectWith(b)
+	}
+	return acc, nil
+}
+
+// Materialize evaluates a description into a rating group. The record scan
+// iterates the smaller entity side's per-entity record index and filters by
+// the other side's bitset, so narrow selections stay cheap. With the group
+// cache enabled (EnableGroupCache), repeated selections are served from
+// memory; the returned group must then be treated as immutable.
+func (e *Engine) Materialize(d Description) (*RatingGroup, error) {
+	g, _, err := e.cachedMaterialize(d)
+	return g, err
+}
+
+func (e *Engine) materialize(d Description) (*RatingGroup, error) {
+	ug, err := e.EntityGroup(d, ReviewerSide)
+	if err != nil {
+		return nil, err
+	}
+	ig, err := e.EntityGroup(d, ItemSide)
+	if err != nil {
+		return nil, err
+	}
+	g := &RatingGroup{Desc: d, Reviewers: ug, Items: ig}
+
+	uCount, iCount := ug.Count(), ig.Count()
+	switch {
+	case uCount == 0 || iCount == 0:
+		// empty group
+	case d.IsEmpty():
+		g.Records = make([]int32, e.DB.Ratings.Len())
+		for r := range g.Records {
+			g.Records[r] = int32(r)
+		}
+	case uCount <= iCount:
+		rows := ug.Elements(nil)
+		for _, u := range rows {
+			for _, r := range e.DB.RecordsOfReviewer(int(u)) {
+				if ig.Has(int(e.DB.Ratings.Item[r])) {
+					g.Records = append(g.Records, r)
+				}
+			}
+		}
+		sortInt32(g.Records)
+	default:
+		rows := ig.Elements(nil)
+		for _, i := range rows {
+			for _, r := range e.DB.RecordsOfItem(int(i)) {
+				if ug.Has(int(e.DB.Ratings.Reviewer[r])) {
+					g.Records = append(g.Records, r)
+				}
+			}
+		}
+		sortInt32(g.Records)
+	}
+	return g, nil
+}
+
+func sortInt32(xs []int32) {
+	// insertion-friendly sizes dominate; use stdlib sort semantics without
+	// the interface allocation.
+	if len(xs) < 2 {
+		return
+	}
+	quicksortInt32(xs)
+}
+
+func quicksortInt32(xs []int32) {
+	for len(xs) > 12 {
+		p := partitionInt32(xs)
+		if p < len(xs)-p {
+			quicksortInt32(xs[:p])
+			xs = xs[p:]
+		} else {
+			quicksortInt32(xs[p:])
+			xs = xs[:p]
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func partitionInt32(xs []int32) int {
+	mid := len(xs) / 2
+	if xs[0] > xs[mid] {
+		xs[0], xs[mid] = xs[mid], xs[0]
+	}
+	if xs[0] > xs[len(xs)-1] {
+		xs[0], xs[len(xs)-1] = xs[len(xs)-1], xs[0]
+	}
+	if xs[mid] > xs[len(xs)-1] {
+		xs[mid], xs[len(xs)-1] = xs[len(xs)-1], xs[mid]
+	}
+	pivot := xs[mid]
+	i, j := 0, len(xs)-1
+	for {
+		for xs[i] < pivot {
+			i++
+		}
+		for xs[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j + 1
+		}
+		xs[i], xs[j] = xs[j], xs[i]
+		i++
+		j--
+	}
+}
+
+// GroupingCandidate describes one way to partition a rating group: by an
+// attribute of the reviewer or item table that is not already bound by the
+// group's description.
+type GroupingCandidate struct {
+	Side Side
+	Attr string
+}
+
+// GroupingCandidates lists the attributes a rating map may group the given
+// description by. Attributes already bound to a value are excluded — their
+// partition would be a single subgroup.
+func (e *Engine) GroupingCandidates(d Description) []GroupingCandidate {
+	var out []GroupingCandidate
+	for _, side := range []Side{ReviewerSide, ItemSide} {
+		t := e.table(side)
+		for a := 0; a < t.Schema.Len(); a++ {
+			name := t.Schema.At(a).Name
+			if d.BindsAttr(side, name) {
+				continue
+			}
+			if t.ValueCardinality(a) < 2 {
+				continue
+			}
+			out = append(out, GroupingCandidate{Side: side, Attr: name})
+		}
+	}
+	return out
+}
+
+// AttributeValues returns the registered values of an attribute, sorted.
+func (e *Engine) AttributeValues(side Side, attr string) ([]string, error) {
+	t := e.table(side)
+	a := t.Schema.Index(attr)
+	if a < 0 {
+		return nil, fmt.Errorf("query: %s has no attribute %q", side, attr)
+	}
+	return t.Dict(a).Values(), nil
+}

@@ -1,0 +1,222 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind classifies an exploration operation relative to the current
+// description (§3.2.1, §4.3).
+type OpKind int
+
+const (
+	// Filter adds one attribute-value pair (drill-down).
+	Filter OpKind = iota
+	// Generalize removes one attribute-value pair (roll-up).
+	Generalize
+	// Change re-binds one attribute to a different value (sideways move).
+	Change
+	// FilterGeneralize adds one pair and removes another (the paper allows
+	// candidates differing in at most 2 attribute-value pairs).
+	FilterGeneralize
+	// FilterChange adds one pair and changes another.
+	FilterChange
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Filter:
+		return "filter"
+	case Generalize:
+		return "generalize"
+	case Change:
+		return "change"
+	case FilterGeneralize:
+		return "filter+generalize"
+	case FilterChange:
+		return "filter+change"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Operation is a next-step operation q: the target description plus a
+// human-readable account of how it differs from the current one.
+type Operation struct {
+	Kind   OpKind
+	Target Description
+	// Added/Removed/Changed record the delta for display; Changed holds the
+	// old selector and ChangedTo the new value.
+	Added     *Selector
+	Removed   *Selector
+	Changed   *Selector
+	ChangedTo string
+}
+
+// String renders the operation for the recommendation list.
+func (op Operation) String() string {
+	var parts []string
+	if op.Added != nil {
+		parts = append(parts, fmt.Sprintf("FILTER %s", *op.Added))
+	}
+	if op.Removed != nil {
+		parts = append(parts, fmt.Sprintf("GENERALIZE drop %s", *op.Removed))
+	}
+	if op.Changed != nil {
+		parts = append(parts, fmt.Sprintf("CHANGE %s.%s: '%s' -> '%s'",
+			op.Changed.Side, op.Changed.Attr, op.Changed.Value, op.ChangedTo))
+	}
+	if len(parts) == 0 {
+		return "NOOP"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// CandidateLimits bounds candidate-operation enumeration so recommendation
+// building stays interactive on wide schemas.
+type CandidateLimits struct {
+	// MaxValuesPerAttribute caps how many values of each unbound attribute
+	// are considered for Filter additions (0 = unlimited).
+	MaxValuesPerAttribute int
+	// MaxCandidates caps the total number of candidates (0 = unlimited).
+	MaxCandidates int
+	// IncludeCombined enables the two-pair kinds (FilterGeneralize,
+	// FilterChange); the paper limits candidates to ≤2 differing pairs.
+	IncludeCombined bool
+}
+
+// DefaultCandidateLimits mirror the prototype's behaviour: combined
+// operations on, all values considered.
+func DefaultCandidateLimits() CandidateLimits {
+	return CandidateLimits{IncludeCombined: true}
+}
+
+// CandidateOperations enumerates the next-step operations q reachable from
+// cur per §4.3: q may add a new attribute-value pair, and may additionally
+// remove or change one existing pair. Pure removals and pure changes are
+// also included (they differ in one pair). Candidates whose target equals
+// cur are excluded.
+func (e *Engine) CandidateOperations(cur Description, lim CandidateLimits) ([]Operation, error) {
+	var ops []Operation
+	seen := map[string]bool{cur.Key(): true}
+
+	add := func(op Operation) bool {
+		k := op.Target.Key()
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		ops = append(ops, op)
+		return lim.MaxCandidates == 0 || len(ops) < lim.MaxCandidates
+	}
+
+	additions, err := e.additionSelectors(cur, lim)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pure filters.
+	for _, sel := range additions {
+		target, err := cur.With(sel)
+		if err != nil {
+			continue
+		}
+		s := sel
+		if !add(Operation{Kind: Filter, Target: target, Added: &s}) {
+			return ops, nil
+		}
+	}
+
+	// Pure generalizations and changes over existing selectors.
+	for _, old := range cur.Selectors() {
+		old := old
+		target, err := cur.Without(old)
+		if err == nil {
+			if !add(Operation{Kind: Generalize, Target: target, Removed: &old}) {
+				return ops, nil
+			}
+		}
+		values, err := e.AttributeValues(old.Side, old.Attr)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range capValues(values, lim.MaxValuesPerAttribute) {
+			if v == old.Value {
+				continue
+			}
+			target, err := cur.WithChanged(old, v)
+			if err != nil {
+				continue
+			}
+			if !add(Operation{Kind: Change, Target: target, Changed: &old, ChangedTo: v}) {
+				return ops, nil
+			}
+		}
+	}
+
+	if !lim.IncludeCombined {
+		return ops, nil
+	}
+
+	// Combined: addition plus one removal, or addition plus one change.
+	for _, sel := range additions {
+		withAdd, err := cur.With(sel)
+		if err != nil {
+			continue
+		}
+		sel := sel
+		for _, old := range cur.Selectors() {
+			old := old
+			if old.Side == sel.Side && old.Attr == sel.Attr {
+				continue
+			}
+			if target, err := withAdd.Without(old); err == nil {
+				if !add(Operation{Kind: FilterGeneralize, Target: target, Added: &sel, Removed: &old}) {
+					return ops, nil
+				}
+			}
+			values, err := e.AttributeValues(old.Side, old.Attr)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range capValues(values, lim.MaxValuesPerAttribute) {
+				if v == old.Value {
+					continue
+				}
+				if target, err := withAdd.WithChanged(old, v); err == nil {
+					if !add(Operation{Kind: FilterChange, Target: target, Added: &sel, Changed: &old, ChangedTo: v}) {
+						return ops, nil
+					}
+				}
+			}
+		}
+	}
+	return ops, nil
+}
+
+// additionSelectors lists the selectors that may be added to cur: every
+// value of every attribute not already bound.
+func (e *Engine) additionSelectors(cur Description, lim CandidateLimits) ([]Selector, error) {
+	var out []Selector
+	for _, side := range []Side{ReviewerSide, ItemSide} {
+		t := e.table(side)
+		for a := 0; a < t.Schema.Len(); a++ {
+			name := t.Schema.At(a).Name
+			if cur.BindsAttr(side, name) {
+				continue
+			}
+			values := t.Dict(a).Values()
+			for _, v := range capValues(values, lim.MaxValuesPerAttribute) {
+				out = append(out, Selector{Side: side, Attr: name, Value: v})
+			}
+		}
+	}
+	return out, nil
+}
+
+func capValues(values []string, maxN int) []string {
+	if maxN > 0 && len(values) > maxN {
+		return values[:maxN]
+	}
+	return values
+}

@@ -1,0 +1,391 @@
+// Package ratingmap implements rating distributions and rating maps
+// (Definitions 1-2 of the paper), their interestingness criteria —
+// conciseness, agreement, self peculiarity, global peculiarity (§3.2.3,
+// §4.1) — and the dimension-weighted utility of Equation 1.
+//
+// A rating map is the result of a GroupBy over a rating group g_R on a
+// single reviewer or item attribute, aggregated on one rating dimension:
+// each subgroup carries its rating distribution and average score.
+package ratingmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+	"subdex/internal/stats"
+)
+
+// Key identifies a candidate rating map: the grouping attribute (on one
+// side) and the rating dimension aggregated.
+type Key struct {
+	Side query.Side
+	Attr string
+	Dim  int // index into the rating table's dimensions
+}
+
+// String renders the key as e.g. "GROUPBY items.city AGG food".
+func (k Key) String() string {
+	return fmt.Sprintf("GROUPBY %s.%s AGG dim%d", k.Side, k.Attr, k.Dim)
+}
+
+// Subgroup is one bar of the rating map: the records of g_R whose grouping
+// attribute has the given value, with their score histogram.
+type Subgroup struct {
+	Value dataset.ValueID
+	// Counts[s-1] is the number of records with score s; length = scale m.
+	Counts []int
+	N      int
+}
+
+// Distribution returns the subgroup's rating distribution.
+func (sg *Subgroup) Distribution() stats.Distribution {
+	return stats.NewDistributionFromCounts(sg.Counts)
+}
+
+// AvgScore returns the subgroup's aggregated (average) score, the single
+// number the paper's rating maps attach to each subgroup. Records with a
+// missing score are excluded by construction.
+func (sg *Subgroup) AvgScore() float64 {
+	if sg.N == 0 {
+		return 0
+	}
+	sum := 0
+	for i, c := range sg.Counts {
+		sum += (i + 1) * c
+	}
+	return float64(sum) / float64(sg.N)
+}
+
+// StdDev returns the standard deviation of scores within the subgroup,
+// feeding the agreement criterion.
+func (sg *Subgroup) StdDev() float64 {
+	return sg.Distribution().StdDev()
+}
+
+// ModeScore returns the subgroup's most frequent rating value — the
+// "highest probability for the rating dimension" aggregation Definition 2
+// names as an alternative to the average. Ties break toward the lower
+// rating; an empty subgroup returns 0.
+func (sg *Subgroup) ModeScore() int {
+	best, bestCount := 0, 0
+	for i, c := range sg.Counts {
+		if c > bestCount {
+			best, bestCount = i+1, c
+		}
+	}
+	return best
+}
+
+// RatingMap is a materialized rating map rm(g_R, r_i).
+type RatingMap struct {
+	Key
+	DimName string
+	Scale   int
+	// Desc is the description of the underlying rating group.
+	Desc query.Description
+	// Subgroups are sorted by descending average score, as displayed in the
+	// paper's Figure 3 tables.
+	Subgroups []Subgroup
+	// TotalRecords is |g_R| counted with multiplicity for multi-valued
+	// grouping attributes (a record in two cuisines appears in two bars).
+	TotalRecords int
+
+	total []int // pooled histogram across subgroups
+}
+
+// Dict resolves subgroup values to display strings; set by the builder.
+type Dict interface {
+	Value(dataset.ValueID) string
+}
+
+// Distribution returns the rating distribution of the whole map (pooled
+// across subgroups), the reference distribution for self peculiarity and the
+// object compared by global peculiarity and EMD-based diversity.
+func (rm *RatingMap) Distribution() stats.Distribution {
+	return stats.NewDistributionFromCounts(rm.total)
+}
+
+// NumSubgroups returns the number of bars.
+func (rm *RatingMap) NumSubgroups() int { return len(rm.Subgroups) }
+
+// Signature returns the distribution of subgroup average scores, weighted
+// by subgroup size, with fractional averages split linearly between the
+// neighbouring scale bins. Unlike the pooled Distribution — which is
+// identical for every grouping of the same records on the same dimension —
+// the signature reflects the grouping structure itself, so it can tell
+// "GroupBy neighborhood" apart from "GroupBy parking" even on one
+// dimension. The diversity distance combines both.
+func (rm *RatingMap) Signature() stats.Distribution {
+	sig := make(stats.Distribution, rm.Scale)
+	total := 0.0
+	for i := range rm.Subgroups {
+		sg := &rm.Subgroups[i]
+		if sg.N == 0 {
+			continue
+		}
+		avg := sg.AvgScore() // in [1, scale]
+		pos := avg - 1       // in [0, scale-1]
+		lo := int(pos)
+		frac := pos - float64(lo)
+		w := float64(sg.N)
+		if lo >= rm.Scale-1 {
+			sig[rm.Scale-1] += w
+		} else {
+			sig[lo] += w * (1 - frac)
+			sig[lo+1] += w * frac
+		}
+		total += w
+	}
+	if total == 0 {
+		sig.Normalize()
+		return sig
+	}
+	for i := range sig {
+		sig[i] /= total
+	}
+	return sig
+}
+
+// Render formats the map as the tabular view of Figure 3.
+func (rm *RatingMap) Render(dict Dict) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GroupBy %s.%s, aggregated by %s score\n", rm.Side, rm.Attr, rm.DimName)
+	fmt.Fprintf(&b, "%-20s %12s %-28s %10s\n", rm.Attr, "# of records", "rating distribution", "avg. score")
+	for _, sg := range rm.Subgroups {
+		label := fmt.Sprintf("%d", sg.Value)
+		if dict != nil {
+			label = dict.Value(sg.Value)
+		}
+		var dist strings.Builder
+		dist.WriteByte('{')
+		for s, c := range sg.Counts {
+			if s > 0 {
+				dist.WriteByte(',')
+			}
+			fmt.Fprintf(&dist, "%d:%d", s+1, c)
+		}
+		dist.WriteByte('}')
+		fmt.Fprintf(&b, "%-20s %12d %-28s %10.1f\n", label, sg.N, dist.String(), sg.AvgScore())
+	}
+	return b.String()
+}
+
+// Builder materializes rating maps over a database. It implements the
+// "Combining Multiple Aggregates" sharing optimization of §4.2.1: one scan
+// of a record range updates the partial results of every candidate map that
+// groups by the same attribute, across all rating dimensions.
+type Builder struct {
+	DB *dataset.DB
+}
+
+// partial accumulates one candidate map across phases. counts is indexed
+// by dense ValueID (dictionary ids are small and dense), with nil entries
+// for values not yet seen; this keeps the per-record hot path to two array
+// indexings instead of a map lookup.
+type partial struct {
+	key      Key
+	scale    int
+	counts   [][]int // ValueID -> histogram (nil until seen)
+	nValues  int     // number of non-nil entries
+	nRecords int
+}
+
+// Accumulator holds the in-progress subgroup histograms of a set of
+// candidate maps sharing scans, keyed by grouping attribute. The engine's
+// phase loop calls Update once per phase with the next record fraction.
+type Accumulator struct {
+	db *dataset.DB
+	// byAttr groups partials sharing the same (side, attr) so one
+	// attribute lookup per record serves every dimension.
+	byAttr map[string][]*partial
+	order  []Key
+	desc   query.Description
+
+	// recordVisits counts per-record attribute lookups — the cost the
+	// "Combining Multiple Aggregates" sharing optimization bounds: one
+	// visit per (record, attribute), independent of how many rating
+	// dimensions share the attribute.
+	recordVisits int
+}
+
+// NewAccumulator prepares shared accumulation for the given candidate keys
+// over the rating group described by desc.
+func (b *Builder) NewAccumulator(desc query.Description, keys []Key) *Accumulator {
+	acc := &Accumulator{db: b.DB, byAttr: make(map[string][]*partial), desc: desc}
+	for _, k := range keys {
+		p := &partial{
+			key:   k,
+			scale: b.DB.Ratings.Dimensions[k.Dim].Scale,
+		}
+		ak := attrKey(k.Side, k.Attr)
+		acc.byAttr[ak] = append(acc.byAttr[ak], p)
+		acc.order = append(acc.order, k)
+	}
+	return acc
+}
+
+func attrKey(side query.Side, attr string) string {
+	return fmt.Sprintf("%d\x00%s", side, attr)
+}
+
+// Update feeds a batch of rating-record positions into every candidate map.
+func (a *Accumulator) Update(records []int32) {
+	for ak, ps := range a.byAttr {
+		side, attr := splitAttrKey(ak)
+		var t *dataset.EntityTable
+		var rowOf []int32
+		if side == query.ReviewerSide {
+			t = a.db.Reviewers
+			rowOf = a.db.Ratings.Reviewer
+		} else {
+			t = a.db.Items
+			rowOf = a.db.Ratings.Item
+		}
+		ai := t.Schema.Index(attr)
+		if ai < 0 {
+			continue
+		}
+		kind := t.Schema.At(ai).Kind
+		a.recordVisits += len(records)
+		for _, r := range records {
+			row := int(rowOf[r])
+			switch kind {
+			case dataset.Atomic:
+				v := t.AtomicValue(ai, row)
+				if v == dataset.MissingValue {
+					continue
+				}
+				for _, p := range ps {
+					p.add(v, a.db.Ratings.Scores[p.key.Dim][r])
+				}
+			case dataset.MultiValued:
+				for _, v := range t.MultiValues(ai, row) {
+					for _, p := range ps {
+						p.add(v, a.db.Ratings.Scores[p.key.Dim][r])
+					}
+				}
+			}
+		}
+	}
+}
+
+func splitAttrKey(ak string) (query.Side, string) {
+	for i := 0; i < len(ak); i++ {
+		if ak[i] == 0 {
+			return query.Side(ak[0] - '0'), ak[i+1:]
+		}
+	}
+	return query.ReviewerSide, ak
+}
+
+func (p *partial) add(v dataset.ValueID, s dataset.Score) {
+	if s == 0 {
+		return // missing score
+	}
+	if int(v) >= len(p.counts) {
+		grown := make([][]int, int(v)+8)
+		copy(grown, p.counts)
+		p.counts = grown
+	}
+	c := p.counts[v]
+	if c == nil {
+		c = make([]int, p.scale)
+		p.counts[v] = c
+		p.nValues++
+	}
+	c[s-1]++
+	p.nRecords++
+}
+
+// Keys returns the candidate keys in registration order.
+func (a *Accumulator) Keys() []Key { return a.order }
+
+// RecordVisits reports how many (record, attribute) lookups the shared
+// scans performed so far — the work the sharing optimization bounds.
+func (a *Accumulator) RecordVisits() int { return a.recordVisits }
+
+// Remove drops a candidate from accumulation, the effect of pruning: later
+// phases no longer pay for its histogram updates. Removing the last
+// candidate of an attribute removes the attribute's shared scan entirely.
+func (a *Accumulator) Remove(k Key) {
+	ak := attrKey(k.Side, k.Attr)
+	ps := a.byAttr[ak]
+	for i, p := range ps {
+		if p.key == k {
+			a.byAttr[ak] = append(ps[:i], ps[i+1:]...)
+			break
+		}
+	}
+	if len(a.byAttr[ak]) == 0 {
+		delete(a.byAttr, ak)
+	}
+	for i, key := range a.order {
+		if key == k {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Snapshot materializes the current partial state of one candidate as a
+// RatingMap. The engine uses snapshots both for per-phase utility estimates
+// and for the final exact maps after the last phase.
+func (a *Accumulator) Snapshot(k Key) *RatingMap {
+	var p *partial
+	for _, cand := range a.byAttr[attrKey(k.Side, k.Attr)] {
+		if cand.key == k {
+			p = cand
+			break
+		}
+	}
+	if p == nil {
+		return nil
+	}
+	rm := &RatingMap{
+		Key:          k,
+		DimName:      a.db.Ratings.Dimensions[k.Dim].Name,
+		Scale:        p.scale,
+		Desc:         a.desc,
+		TotalRecords: p.nRecords,
+		total:        make([]int, p.scale),
+	}
+	for v, counts := range p.counts {
+		if counts == nil {
+			continue
+		}
+		n := 0
+		for s, c := range counts {
+			n += c
+			rm.total[s] += c
+		}
+		rm.Subgroups = append(rm.Subgroups, Subgroup{
+			Value:  dataset.ValueID(v),
+			Counts: append([]int(nil), counts...),
+			N:      n,
+		})
+	}
+	sort.Slice(rm.Subgroups, func(i, j int) bool {
+		ai, aj := rm.Subgroups[i].AvgScore(), rm.Subgroups[j].AvgScore()
+		if ai != aj {
+			return ai > aj
+		}
+		return rm.Subgroups[i].Value < rm.Subgroups[j].Value
+	})
+	return rm
+}
+
+// Build materializes every candidate in one pass over all records of the
+// group — the unshared, unpruned path used by the Naive engine variant and
+// by tests as ground truth.
+func (b *Builder) Build(desc query.Description, records []int32, keys []Key) []*RatingMap {
+	acc := b.NewAccumulator(desc, keys)
+	acc.Update(records)
+	out := make([]*RatingMap, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, acc.Snapshot(k))
+	}
+	return out
+}

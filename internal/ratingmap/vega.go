@@ -1,0 +1,66 @@
+package ratingmap
+
+import "encoding/json"
+
+// Vega-Lite export. The paper's system is a visualization recommender; its
+// UI renders rating maps as grouped histograms (Figure 1). VegaLiteSpec
+// emits a self-contained Vega-Lite v5 bar-chart specification for a rating
+// map, so any Vega-enabled frontend (or vega-cli) can render exactly what
+// the engine selected.
+
+// vegaSpec mirrors the subset of the Vega-Lite schema we emit.
+type vegaSpec struct {
+	Schema      string         `json:"$schema"`
+	Description string         `json:"description"`
+	Data        vegaData       `json:"data"`
+	Mark        string         `json:"mark"`
+	Encoding    map[string]any `json:"encoding"`
+}
+
+type vegaData struct {
+	Values []vegaRow `json:"values"`
+}
+
+type vegaRow struct {
+	Group  string `json:"group"`
+	Rating int    `json:"rating"`
+	Count  int    `json:"count"`
+}
+
+// VegaLiteSpec serializes the rating map as a Vega-Lite v5 grouped bar
+// chart: x = subgroup, column color = rating value, y = record count. dict
+// resolves subgroup value labels (nil falls back to numeric ids).
+func (rm *RatingMap) VegaLiteSpec(dict Dict) ([]byte, error) {
+	spec := vegaSpec{
+		Schema:      "https://vega.github.io/schema/vega-lite/v5.json",
+		Description: "Rating map: GroupBy " + rm.Side.String() + "." + rm.Attr + ", aggregated by " + rm.DimName,
+		Mark:        "bar",
+		Encoding: map[string]any{
+			"x":     map[string]any{"field": "group", "type": "nominal", "title": rm.Attr},
+			"y":     map[string]any{"field": "count", "type": "quantitative", "title": "# of records"},
+			"color": map[string]any{"field": "rating", "type": "ordinal", "title": rm.DimName + " score"},
+			"xOffset": map[string]any{
+				"field": "rating",
+			},
+		},
+	}
+	for i := range rm.Subgroups {
+		sg := &rm.Subgroups[i]
+		label := ""
+		if dict != nil {
+			label = dict.Value(sg.Value)
+		}
+		if label == "" {
+			label = rm.Attr
+		}
+		for s, c := range sg.Counts {
+			if c == 0 {
+				continue
+			}
+			spec.Data.Values = append(spec.Data.Values, vegaRow{
+				Group: label, Rating: s + 1, Count: c,
+			})
+		}
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}

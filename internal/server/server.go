@@ -1,0 +1,336 @@
+// Package server exposes the SDE engine over HTTP with JSON payloads — the
+// role the paper's web UI backend plays (Figure 4: the UI talks to the SDE
+// Engine, which drives the RM-Set Generator and Recommendation Builder).
+// A thin REST surface manages exploration sessions:
+//
+//	POST /sessions                {"mode":"rp"}             -> {"id":...}
+//	GET  /sessions/{id}/step                                -> the step display
+//	POST /sessions/{id}/apply     {"predicate":"..."}        -> move the session
+//	POST /sessions/{id}/apply     {"recommendation":1}       -> follow rec #1
+//	POST /sessions/{id}/apply     {"back":true}              -> previous selection
+//	GET  /sessions/{id}/summary                              -> path summary
+//	GET  /sessions/{id}/maps/{n}/vega                        -> Vega-Lite spec of map n
+//	GET  /healthz
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"subdex/internal/core"
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// Server owns an explorer and its live sessions.
+type Server struct {
+	ex *core.Explorer
+
+	mu       sync.Mutex
+	sessions map[int]*core.Session
+	nextID   int
+}
+
+// New builds a server over a frozen database.
+func New(db *dataset.DB, cfg core.Config) (*Server, error) {
+	ex, err := core.NewExplorer(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{ex: ex, sessions: make(map[int]*core.Session), nextID: 1}, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "database": s.ex.DB.Name})
+	})
+	mux.HandleFunc("/sessions", s.handleCreateSession)
+	mux.HandleFunc("/sessions/", s.handleSession)
+	return mux
+}
+
+// createSessionRequest selects the exploration mode.
+type createSessionRequest struct {
+	Mode string `json:"mode"` // "ud" | "rp" | "fa"
+	// Predicate optionally starts the session at a selection.
+	Predicate string `json:"predicate"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req createSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	var mode core.Mode
+	switch strings.ToLower(req.Mode) {
+	case "", "rp":
+		mode = core.RecommendationPowered
+	case "ud":
+		mode = core.UserDriven
+	case "fa":
+		mode = core.FullyAutomated
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q", req.Mode))
+		return
+	}
+	start := query.Description{}
+	if req.Predicate != "" {
+		d, err := s.ex.ParseDescription(req.Predicate)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		start = d
+	}
+	sess, err := core.NewSession(s.ex, mode, start)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "mode": mode.String()})
+}
+
+func (s *Server) session(id int) (*core.Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/sessions/")
+	parts := strings.Split(rest, "/")
+	id, err := strconv.Atoi(parts[0])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	sess, ok := s.session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	action := ""
+	if len(parts) > 1 {
+		action = parts[1]
+	}
+	switch {
+	case action == "step" && r.Method == http.MethodGet:
+		s.handleStep(w, sess)
+	case action == "apply" && r.Method == http.MethodPost:
+		s.handleApply(w, r, sess)
+	case action == "summary" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, summaryJSON(sess.Summarize()))
+	case action == "maps" && len(parts) == 4 && parts[3] == "vega" && r.Method == http.MethodGet:
+		s.handleVega(w, sess, parts[2])
+	default:
+		writeError(w, http.StatusNotFound, "unknown action "+action)
+	}
+}
+
+// handleVega serves the Vega-Lite specification of one displayed map of the
+// session's latest step (1-based index).
+func (s *Server) handleVega(w http.ResponseWriter, sess *core.Session, idx string) {
+	n, err := strconv.Atoi(idx)
+	if err != nil || n < 1 {
+		writeError(w, http.StatusBadRequest, "bad map index")
+		return
+	}
+	s.mu.Lock()
+	steps := sess.Steps()
+	s.mu.Unlock()
+	if len(steps) == 0 {
+		writeError(w, http.StatusConflict, "no step executed yet")
+		return
+	}
+	last := steps[len(steps)-1]
+	if n > len(last.Maps) {
+		writeError(w, http.StatusNotFound, "map index out of range")
+		return
+	}
+	rm := last.Maps[n-1]
+	spec, err := rm.VegaLiteSpec(s.ex.DictFor(rm))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(spec)
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, sess *core.Session) {
+	// One session is single-threaded: the paper's UI issues one step at a
+	// time; serialize defensively.
+	s.mu.Lock()
+	step, err := sess.Step()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stepJSON(sess, step))
+}
+
+// applyRequest moves a session: exactly one of the fields is used.
+type applyRequest struct {
+	Predicate      string `json:"predicate,omitempty"`
+	Recommendation int    `json:"recommendation,omitempty"` // 1-based
+	Back           bool   `json:"back,omitempty"`
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, sess *core.Session) {
+	var req applyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case req.Back:
+		if !sess.Back() {
+			writeError(w, http.StatusConflict, "history empty")
+			return
+		}
+	case req.Recommendation > 0:
+		if err := sess.ApplyRecommendation(req.Recommendation - 1); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	case req.Predicate != "":
+		d, err := s.ex.ParseDescription(req.Predicate)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := sess.ApplyDescription(d); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "one of predicate, recommendation, back required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"selection": sess.Current().String()})
+}
+
+// JSON shapes ------------------------------------------------------------
+
+// StepJSON is the display payload of one exploration step.
+type StepJSON struct {
+	Selection       string               `json:"selection"`
+	GroupSize       int                  `json:"group_size"`
+	Reviewers       int                  `json:"reviewers"`
+	Items           int                  `json:"items"`
+	Maps            []MapJSON            `json:"maps"`
+	Recommendations []RecommendationJSON `json:"recommendations,omitempty"`
+	GenMillis       float64              `json:"generation_ms"`
+	RecMillis       float64              `json:"recommendation_ms"`
+}
+
+// MapJSON is one rating map.
+type MapJSON struct {
+	GroupBy   string    `json:"group_by"` // side.attr
+	Dimension string    `json:"dimension"`
+	Utility   float64   `json:"utility"`
+	WonBy     string    `json:"won_by"` // winning interestingness criterion
+	Bars      []BarJSON `json:"bars"`
+}
+
+// BarJSON is one subgroup bar.
+type BarJSON struct {
+	Value    string  `json:"value"`
+	Records  int     `json:"records"`
+	Counts   []int   `json:"distribution"` // index i = rating i+1
+	AvgScore float64 `json:"avg_score"`
+	Mode     int     `json:"mode_score"`
+}
+
+// RecommendationJSON is one ranked next-step operation.
+type RecommendationJSON struct {
+	Utility   float64 `json:"utility"`
+	Operation string  `json:"operation"`
+	Target    string  `json:"target"`
+}
+
+func (s *Server) stepJSON(sess *core.Session, step *core.StepResult) StepJSON {
+	out := StepJSON{
+		Selection: step.Desc.String(),
+		GroupSize: step.GroupSize,
+		Reviewers: step.NumMatched.Reviewers,
+		Items:     step.NumMatched.Items,
+		GenMillis: float64(step.GenDuration.Microseconds()) / 1000,
+		RecMillis: float64(step.RecDuration.Microseconds()) / 1000,
+	}
+	for i, rm := range step.Maps {
+		out.Maps = append(out.Maps, s.mapJSON(sess, rm, step.Utilities[i]))
+	}
+	for _, rec := range step.Recommendations {
+		out.Recommendations = append(out.Recommendations, RecommendationJSON{
+			Utility:   rec.Utility,
+			Operation: rec.Op.String(),
+			Target:    rec.Op.Target.String(),
+		})
+	}
+	return out
+}
+
+func (s *Server) mapJSON(sess *core.Session, rm *ratingmap.RatingMap, utility float64) MapJSON {
+	_, winner := s.ex.ExplainMap(rm, sess.Seen())
+	mj := MapJSON{
+		GroupBy:   rm.Side.String() + "." + rm.Attr,
+		Dimension: rm.DimName,
+		Utility:   utility,
+		WonBy:     winner.String(),
+	}
+	dict := s.ex.DictFor(rm)
+	for i := range rm.Subgroups {
+		sg := &rm.Subgroups[i]
+		mj.Bars = append(mj.Bars, BarJSON{
+			Value:    dict.Value(sg.Value),
+			Records:  sg.N,
+			Counts:   sg.Counts,
+			AvgScore: sg.AvgScore(),
+			Mode:     sg.ModeScore(),
+		})
+	}
+	return mj
+}
+
+func summaryJSON(sum core.PathSummary) map[string]any {
+	return map[string]any{
+		"steps":               sum.Steps,
+		"total_utility":       sum.TotalUtility,
+		"distinct_attributes": sum.DistinctAttributes,
+		"avg_diversity":       sum.AvgDiversity,
+		"maps_per_dimension":  sum.MapsPerDimension,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"subdex/internal/core"
+	"subdex/internal/gen"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	db, err := gen.Yelp(gen.Config{Seed: 2, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.RecSampleSize = 300
+	cfg.Limits.MaxCandidates = 20
+	s, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts := testServer(t)
+
+	resp, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, created)
+	}
+	id := int(created["id"].(float64))
+
+	var step StepJSON
+	resp = getJSON(t, fmt.Sprintf("%s/sessions/%d/step", ts.URL, id), &step)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: %d", resp.StatusCode)
+	}
+	if step.Selection != "TRUE" || len(step.Maps) == 0 {
+		t.Fatalf("unexpected step payload: %+v", step)
+	}
+	for _, m := range step.Maps {
+		if m.GroupBy == "" || m.Dimension == "" || len(m.Bars) == 0 {
+			t.Fatalf("incomplete map payload: %+v", m)
+		}
+		if m.WonBy == "" {
+			t.Fatal("criterion attribution missing")
+		}
+	}
+	if len(step.Recommendations) == 0 {
+		t.Fatal("rp session must return recommendations")
+	}
+
+	// Follow recommendation 1.
+	resp, applied := postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id),
+		map[string]any{"recommendation": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply rec: %d %v", resp.StatusCode, applied)
+	}
+	if applied["selection"] == "TRUE" {
+		t.Fatal("apply did not move the session")
+	}
+
+	// Jump via predicate.
+	resp, _ = postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id),
+		map[string]any{"predicate": "reviewers.gender = 'female'"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply predicate: %d", resp.StatusCode)
+	}
+
+	// Back twice: to the recommendation target, then to TRUE.
+	resp, _ = postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id), map[string]any{"back": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("back: %d", resp.StatusCode)
+	}
+	resp, back2 := postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id), map[string]any{"back": true})
+	if resp.StatusCode != http.StatusOK || back2["selection"] != "TRUE" {
+		t.Fatalf("second back: %d %v", resp.StatusCode, back2)
+	}
+
+	// Summary reflects the executed step.
+	var sum map[string]any
+	resp = getJSON(t, fmt.Sprintf("%s/sessions/%d/summary", ts.URL, id), &sum)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary: %d", resp.StatusCode)
+	}
+	if int(sum["steps"].(float64)) < 1 {
+		t.Fatalf("summary steps: %v", sum)
+	}
+}
+
+func TestSessionStartingPredicate(t *testing.T) {
+	ts := testServer(t)
+	resp, created := postJSON(t, ts.URL+"/sessions",
+		map[string]string{"mode": "ud", "predicate": "reviewers.gender = 'female'"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, created)
+	}
+	id := int(created["id"].(float64))
+	var step StepJSON
+	getJSON(t, fmt.Sprintf("%s/sessions/%d/step", ts.URL, id), &step)
+	if step.Selection == "TRUE" {
+		t.Fatal("starting predicate ignored")
+	}
+	if len(step.Recommendations) != 0 {
+		t.Fatal("user-driven session must not return recommendations")
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts := testServer(t)
+
+	// Bad mode.
+	resp, _ := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "xx"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode: %d", resp.StatusCode)
+	}
+	// Bad predicate at creation.
+	resp, _ = postJSON(t, ts.URL+"/sessions", map[string]string{"predicate": "!!"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad predicate: %d", resp.StatusCode)
+	}
+	// Unknown session.
+	r, err := http.Get(ts.URL + "/sessions/999/step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: %d", r.StatusCode)
+	}
+	// GET on /sessions.
+	r, err = http.Get(ts.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sessions: %d", r.StatusCode)
+	}
+	// Empty apply.
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
+	id := int(created["id"].(float64))
+	resp, _ = postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id), map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty apply: %d", resp.StatusCode)
+	}
+	// Back with empty history.
+	resp, _ = postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id), map[string]any{"back": true})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("back on empty history: %d", resp.StatusCode)
+	}
+}
+
+func TestVegaEndpoint(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
+	id := int(created["id"].(float64))
+
+	// Before any step: conflict.
+	r, err := http.Get(fmt.Sprintf("%s/sessions/%d/maps/1/vega", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("pre-step vega: %d", r.StatusCode)
+	}
+
+	var step StepJSON
+	getJSON(t, fmt.Sprintf("%s/sessions/%d/step", ts.URL, id), &step)
+
+	var spec map[string]any
+	resp := getJSON(t, fmt.Sprintf("%s/sessions/%d/maps/1/vega", ts.URL, id), &spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("vega: %d", resp.StatusCode)
+	}
+	if spec["$schema"] != "https://vega.github.io/schema/vega-lite/v5.json" {
+		t.Fatalf("not a Vega-Lite spec: %v", spec["$schema"])
+	}
+	// Out-of-range index.
+	r, err = http.Get(fmt.Sprintf("%s/sessions/%d/maps/99/vega", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range vega: %d", r.StatusCode)
+	}
+}

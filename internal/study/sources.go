@@ -1,0 +1,162 @@
+package study
+
+import (
+	"subdex/internal/baselines"
+	"subdex/internal/core"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// OpSource supplies next-action operations for the Table 4 comparison: the
+// rating maps shown at each step are fixed (SubDEx's RM-Set), and only the
+// source of next-action recommendations varies between SubDEx, Smart
+// Drill-Down, and Qagview.
+type OpSource interface {
+	Name() string
+	Next(ex *core.Explorer, cur query.Description, maps []*ratingmap.RatingMap,
+		seen *ratingmap.SeenSet, o int) ([]query.Operation, error)
+}
+
+// SubdexSource yields SubDEx's own Equation-2-ranked recommendations.
+type SubdexSource struct{}
+
+// Name identifies the source.
+func (SubdexSource) Name() string { return "SubDEx" }
+
+// Next delegates to the Recommendation Builder.
+func (SubdexSource) Next(ex *core.Explorer, cur query.Description, maps []*ratingmap.RatingMap,
+	seen *ratingmap.SeenSet, o int) ([]query.Operation, error) {
+	rb := core.RecommendationBuilder{Ex: ex}
+	recs, _, err := rb.Recommend(cur, maps, seen, o)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]query.Operation, 0, len(recs))
+	for _, rec := range recs {
+		ops = append(ops, rec.Op)
+	}
+	return ops, nil
+}
+
+// SDDSource yields Smart Drill-Down rule-list operations.
+type SDDSource struct {
+	SDD baselines.SmartDrillDown
+}
+
+// Name identifies the source.
+func (s *SDDSource) Name() string { return s.SDD.Name() }
+
+// Next materializes the current group and runs SDD over it.
+func (s *SDDSource) Next(ex *core.Explorer, cur query.Description, _ []*ratingmap.RatingMap,
+	_ *ratingmap.SeenSet, o int) ([]query.Operation, error) {
+	group, err := ex.Query.Materialize(cur)
+	if err != nil {
+		return nil, err
+	}
+	return s.SDD.Recommend(ex.DB, cur, group.Records, o)
+}
+
+// QagviewSource yields Qagview summary-cluster operations.
+type QagviewSource struct {
+	Qagview baselines.Qagview
+}
+
+// Name identifies the source.
+func (s *QagviewSource) Name() string { return s.Qagview.Name() }
+
+// Next materializes the current group and runs Qagview over it.
+func (s *QagviewSource) Next(ex *core.Explorer, cur query.Description, _ []*ratingmap.RatingMap,
+	_ *ratingmap.SeenSet, o int) ([]query.Operation, error) {
+	group, err := ex.Query.Materialize(cur)
+	if err != nil {
+		return nil, err
+	}
+	return s.Qagview.Recommend(ex.DB, cur, group.Records, o)
+}
+
+// PathStep records one step of a generated Fully-Automated path.
+type PathStep struct {
+	Desc query.Description
+	Maps []*ratingmap.RatingMap
+}
+
+// GeneratePath builds a Fully-Automated exploration path of pathLen steps,
+// applying the source's top-1 operation after each step. Used by Table 4
+// (one path per op source, then subjects score it) and by the parameter-
+// tuning experiments that need fixed paths.
+func GeneratePath(ex *core.Explorer, src OpSource, pathLen int) ([]PathStep, error) {
+	seen := ratingmap.NewSeenSet()
+	var cur query.Description
+	var path []PathStep
+	for step := 0; step < pathLen; step++ {
+		res, err := ex.RMSet(cur, seen)
+		if err != nil {
+			return nil, err
+		}
+		for _, rm := range res.Maps {
+			seen.Add(rm)
+		}
+		path = append(path, PathStep{Desc: cur, Maps: res.Maps})
+		if step == pathLen-1 {
+			break
+		}
+		ops, err := src.Next(ex, cur, res.Maps, seen, ex.Cfg.O)
+		if err != nil {
+			return nil, err
+		}
+		if len(ops) == 0 {
+			break
+		}
+		cur = ops[0].Target
+	}
+	return path, nil
+}
+
+// ReplayPath walks a fixed path's descriptions under another explorer's
+// configuration, recomputing the displayed rating maps at each step — the
+// §5.2.3 methodology of fixing next-action operations while varying the
+// map-selection policy.
+func ReplayPath(ex *core.Explorer, fixed []PathStep) ([]PathStep, error) {
+	seen := ratingmap.NewSeenSet()
+	out := make([]PathStep, 0, len(fixed))
+	for _, st := range fixed {
+		res, err := ex.RMSet(st.Desc, seen)
+		if err != nil {
+			return nil, err
+		}
+		for _, rm := range res.Maps {
+			seen.Add(rm)
+		}
+		out = append(out, PathStep{Desc: st.Desc, Maps: res.Maps})
+	}
+	return out, nil
+}
+
+// ScorePath has n subjects examine a fixed path and returns the average
+// number of targets identified — the Table 4 and Table 6 measurement.
+func ScorePath(ex *core.Explorer, det Detector, path []PathStep, n int, seed int64) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		subj := NewSubject(i, LowCS, LowDomain, seed)
+		if i%2 == 1 {
+			subj = NewSubject(i, HighCS, HighDomain, seed)
+		}
+		found := make(map[int]bool)
+		for _, st := range path {
+			for _, e := range det.Exposed(ex, st.Desc, st.Maps) {
+				if found[e.Target] {
+					continue
+				}
+				p := subj.NoticeProb()
+				if !e.Exact {
+					p *= subj.VerifyProb()
+				}
+				if subj.Rng.Float64() < p {
+					found[e.Target] = true
+				}
+			}
+		}
+		total += float64(len(found))
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"subdex/internal/core"
+	"subdex/internal/gen"
+	"subdex/internal/query"
+)
+
+func traceSession(t *testing.T) (*core.Explorer, *core.Session) {
+	t.Helper()
+	db, err := gen.Yelp(gen.Config{Seed: 6, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.RecSampleSize = 300
+	cfg.Limits.MaxCandidates = 15
+	ex, err := core.NewExplorer(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(ex, core.RecommendationPowered, query.Description{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := sess.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Recommendations) == 0 {
+			break
+		}
+		if err := sess.ApplyRecommendation(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ex, sess
+}
+
+func TestFromSession(t *testing.T) {
+	_, sess := traceSession(t)
+	tr := FromSession(sess)
+	if tr.Database != "Yelp" || tr.Mode != "Recommendation-Powered" {
+		t.Fatalf("trace metadata: %q/%q", tr.Database, tr.Mode)
+	}
+	if len(tr.Events) != sess.NumSteps() {
+		t.Fatalf("events = %d, steps = %d", len(tr.Events), sess.NumSteps())
+	}
+	for i, ev := range tr.Events {
+		if ev.Step != i+1 {
+			t.Errorf("event %d has step %d", i, ev.Step)
+		}
+		if len(ev.Maps) == 0 || len(ev.Maps) != len(ev.Utilities) {
+			t.Errorf("event %d display incomplete: %v", i, ev)
+		}
+		if i < len(tr.Events)-1 && ev.ChosenOp == "" {
+			t.Errorf("event %d missing chosen op", i)
+		}
+	}
+	if last := tr.Events[len(tr.Events)-1]; last.ChosenOp != "" {
+		t.Error("final event must have no chosen op")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	_, sess := traceSession(t)
+	tr := FromSession(sess)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(tr.Events)+1 {
+		t.Fatalf("JSONL lines = %d, want header + %d events", lines, len(tr.Events))
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Database != tr.Database || len(back.Events) != len(tr.Events) {
+		t.Fatal("round trip lost data")
+	}
+	for i := range tr.Events {
+		if back.Events[i].Selection != tr.Events[i].Selection {
+			t.Fatalf("event %d selection changed", i)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	_, sess := traceSession(t)
+	tr := FromSession(sess)
+	path := filepath.Join(t.TempDir(), "session.jsonl")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatal("file round trip lost events")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "not json\n",
+		"bad version": `{"version":9}` + "\n",
+		"bad event":   `{"version":1}` + "\nnot json\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	ex, sess := traceSession(t)
+	tr := FromSession(sess)
+	// Replaying against the same engine configuration and data must
+	// reproduce the recorded displays: the whole pipeline is deterministic.
+	db2, err := gen.Yelp(gen.Config{Seed: 6, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := core.NewExplorer(db2, ex.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches, err := tr.Replay(ex2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("deterministic replay mismatched: %v", mismatches)
+	}
+}
+
+func TestSeedScorer(t *testing.T) {
+	ex, sess := traceSession(t)
+	tr := FromSession(sess)
+	scorer := &core.LogAffinityScorer{Alpha: 0.5}
+	if err := tr.SeedScorer(ex, scorer); err != nil {
+		t.Fatal(err)
+	}
+	// The scorer must now boost an operation touching a logged attribute.
+	var logged query.Selector
+	found := false
+	for _, ev := range tr.Events {
+		d, err := ex.ParseDescription(ev.Selection)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sels := d.Selectors(); len(sels) > 0 {
+			logged = sels[0]
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("trace never narrowed the selection")
+	}
+	op := query.Operation{Target: query.MustDescription(logged), Added: &logged}
+	boosted, err := scorer.ScoreOperation(ex, op, sess.Seen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.EquationTwoScorer{}.ScoreOperation(ex, op, sess.Seen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted <= base {
+		t.Fatalf("seeded scorer must boost logged attributes: %v vs %v", boosted, base)
+	}
+}

@@ -1,0 +1,146 @@
+package subdex_test
+
+import (
+	"testing"
+
+	"subdex"
+	"subdex/internal/dataset"
+)
+
+// TestEndToEndGuidedSession drives the public API the way the quickstart
+// does: generate, explore, recommend, follow, persist, reload.
+func TestEndToEndGuidedSession(t *testing.T) {
+	db, err := subdex.GenerateYelp(subdex.GenConfig{Scale: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := subdex.NewExplorer(db, subdex.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := subdex.NewSession(ex, subdex.RecommendationPowered, subdex.Everything())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(step.Maps) != 3 {
+		t.Fatalf("maps = %d, want 3 (Table 3 default)", len(step.Maps))
+	}
+	if len(step.Recommendations) == 0 {
+		t.Fatal("guided mode must produce recommendations")
+	}
+	if err := sess.ApplyRecommendation(0); err != nil {
+		t.Fatal(err)
+	}
+	step2, err := sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step2.Desc.IsEmpty() {
+		t.Fatal("the session did not move")
+	}
+	if out := ex.RenderMap(step2.Maps[0]); out == "" {
+		t.Fatal("rendering failed")
+	}
+}
+
+func TestFacadeParse(t *testing.T) {
+	db, err := subdex.GenerateMovielens(subdex.GenConfig{Scale: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := subdex.NewExplorer(db, subdex.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := subdex.Parse(ex, "reviewers.gender = 'F' AND items.era = 'modern'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("parsed %d selectors", d.Len())
+	}
+	if _, err := subdex.Parse(ex, "garbage ==="); err == nil {
+		t.Fatal("bad predicate must fail")
+	}
+}
+
+func TestFacadeWhere(t *testing.T) {
+	d, err := subdex.Where(subdex.Selector{Side: subdex.ReviewerSide, Attr: "gender", Value: "F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatal("Where failed")
+	}
+	if !subdex.Everything().IsEmpty() {
+		t.Fatal("Everything must be the universal selection")
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	db, err := subdex.GenerateHotels(subdex.GenConfig{Scale: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := subdex.SaveDir(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := subdex.LoadDir(dir, "hotels", map[string]dataset.Kind{"amenity": dataset.MultiValued})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Ratings.Len() != db.Ratings.Len() {
+		t.Fatal("reload changed record count")
+	}
+}
+
+func TestFacadeInsightsAndPlanting(t *testing.T) {
+	ins := subdex.YelpInsights()
+	if len(ins) != 5 || len(subdex.MovielensInsights()) != 5 {
+		t.Fatal("insight sets must have 5 entries each (paper §5.2)")
+	}
+	biases := subdex.InsightBiases(ins)
+	if len(biases) != 5 {
+		t.Fatal("biases arity")
+	}
+	db, err := subdex.GenerateMovielens(subdex.GenConfig{Scale: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := subdex.PlantIrregularGroups(db, 9, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+}
+
+func TestFullyAutomatedModePublic(t *testing.T) {
+	db, err := subdex.GenerateYelp(subdex.GenConfig{Scale: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := subdex.DefaultConfig()
+	cfg.RecSampleSize = 300
+	ex, err := subdex.NewExplorer(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := subdex.NewSession(ex, subdex.FullyAutomated, subdex.Everything())
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := sess.Auto(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps executed")
+	}
+}
