@@ -18,6 +18,7 @@
 //	why <n>                             explain why map n was selected
 //	save <file>                         write the session trace as JSONL
 //	vega <n> <file>                     export map n as a Vega-Lite spec
+//	metrics                             dump engine telemetry (Prometheus text)
 //	show                                re-display the current step
 //	reset                               back to the whole database
 //	quit
@@ -37,6 +38,9 @@ import (
 	"subdex/internal/query"
 	"subdex/internal/trace"
 )
+
+// metricsReg is the CLI's telemetry registry, dumped by `metrics`.
+var metricsReg *subdex.Registry
 
 func main() {
 	var (
@@ -64,6 +68,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "subdex:", err)
 		os.Exit(1)
 	}
+	// Collect engine telemetry for the `metrics` command.
+	metricsReg = subdex.NewRegistry()
+	ex.Instrument(metricsReg)
 
 	var m subdex.Mode
 	switch *mode {
@@ -167,7 +174,13 @@ func handle(ex *subdex.Explorer, sess *subdex.Session, line string) bool {
 	case "quit", "exit", "q":
 		return true
 	case "help":
-		fmt.Println("commands: filter <t>.<a> = '<v>' | drop <t>.<a> | where <predicate> | rec <n> | auto <m> | back | why <n> | save <file> | vega <n> <file> | show | reset | quit")
+		fmt.Println("commands: filter <t>.<a> = '<v>' | drop <t>.<a> | where <predicate> | rec <n> | auto <m> | back | why <n> | save <file> | vega <n> <file> | metrics | show | reset | quit")
+	case "metrics":
+		// Dump the session's accumulated telemetry in Prometheus text
+		// format — the same shape subdexd serves at /metrics.
+		if err := metricsReg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
 	case "show":
 		display(ex, sess)
 	case "reset":

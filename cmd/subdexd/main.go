@@ -8,13 +8,30 @@
 //	curl -X POST localhost:8080/sessions/1/apply -d '{"recommendation":1}'
 //	curl -X POST localhost:8080/sessions/1/apply -d '{"predicate":"items.cuisine = '\''japanese'\''"}'
 //	curl localhost:8080/sessions/1/summary
+//	curl localhost:8080/metrics
+//	curl localhost:8080/debug/spans
+//
+// With -debug-addr, net/http/pprof is served on a separate listener
+// (kept off the public address on purpose):
+//
+//	subdexd -generate yelp -addr :8080 -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -shutdown-timeout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"subdex"
 	"subdex/internal/dataset"
@@ -32,6 +49,8 @@ func main() {
 		k        = flag.Int("k", 3, "rating maps per step")
 		o        = flag.Int("o", 3, "recommendations per step")
 		l        = flag.Int("l", 3, "pruning-diversity factor")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		drain    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -51,10 +70,59 @@ func main() {
 	s := db.Stats()
 	fmt.Printf("subdexd: serving %s (%d reviewers, %d items, %d ratings) on %s\n",
 		s.Name, s.NumReviewers, s.NumItems, s.NumRatings, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 2)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	var debugSrv *http.Server
+	if *debug != "" {
+		debugSrv = &http.Server{Addr: *debug, Handler: debugMux()}
+		fmt.Printf("subdexd: pprof on http://%s/debug/pprof/\n", *debug)
+		go func() {
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errCh <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("subdexd: shutdown signal received, draining...")
+	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "subdexd:", err)
 		os.Exit(1)
 	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "subdexd: shutdown:", err)
+		os.Exit(1)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
+	}
+	fmt.Println("subdexd: bye")
+}
+
+// debugMux wires the net/http/pprof handlers onto a private mux, so the
+// profiling surface never rides the public address.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func loadDB(data, generate string, scale float64, seed int64) (*subdex.DB, error) {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"subdex/internal/dataset"
 	"subdex/internal/diversity"
 	"subdex/internal/engine"
+	"subdex/internal/obs"
 	"subdex/internal/query"
 	"subdex/internal/ratingmap"
 )
@@ -19,6 +21,9 @@ type Explorer struct {
 	Query *query.Engine
 	Gen   *engine.Generator
 	Cfg   Config
+	// Ins carries the explorer's telemetry instruments; nil (the
+	// default) disables them. Install via Instrument.
+	Ins *Instruments
 }
 
 // NewExplorer builds an explorer over a frozen database. Databases with a
@@ -86,23 +91,38 @@ func (s *StepResult) TotalUtility() float64 {
 // utility (pruned per config), then select the k most diverse with GMM.
 // The seen set is not mutated; callers commit displayed maps explicitly.
 func (ex *Explorer) RMSet(desc query.Description, seen *ratingmap.SeenSet) (*StepResult, error) {
+	return ex.RMSetCtx(context.Background(), desc, seen)
+}
+
+// RMSetCtx is RMSet with span propagation: under a context carrying an
+// obs sink, the step's generation work is recorded as a "core.rmset"
+// span whose children cover materialization and the engine's phases.
+func (ex *Explorer) RMSetCtx(ctx context.Context, desc query.Description, seen *ratingmap.SeenSet) (*StepResult, error) {
 	if err := ex.Query.Validate(desc); err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "core.rmset")
+	span.SetAttr("selection", desc.String())
+	defer span.End()
+	_, mspan := obs.StartSpan(ctx, "query.materialize")
 	group, err := ex.Query.Materialize(desc)
 	if err != nil {
+		mspan.End()
 		return nil, err
 	}
-	res, err := ex.rmSetForGroup(group, seen)
+	mspan.SetAttr("records", group.Len())
+	mspan.End()
+	res, err := ex.rmSetForGroup(ctx, group, seen)
 	if err != nil {
 		return nil, err
 	}
 	res.GenDuration = time.Since(start)
+	span.SetAttr("maps", len(res.Maps))
 	return res, nil
 }
 
-func (ex *Explorer) rmSetForGroup(group *query.RatingGroup, seen *ratingmap.SeenSet) (*StepResult, error) {
+func (ex *Explorer) rmSetForGroup(ctx context.Context, group *query.RatingGroup, seen *ratingmap.SeenSet) (*StepResult, error) {
 	cfg := ex.Cfg
 	cands := ex.Gen.Candidates(ex.Query, group.Desc)
 	kPrime := cfg.K * cfg.L
@@ -112,7 +132,7 @@ func (ex *Explorer) rmSetForGroup(group *query.RatingGroup, seen *ratingmap.Seen
 			kPrime = 1
 		}
 	}
-	genRes, err := ex.Gen.TopMaps(group, cands, seen, kPrime, cfg.Engine)
+	genRes, err := ex.Gen.TopMapsCtx(ctx, group, cands, seen, kPrime, cfg.Engine)
 	if err != nil {
 		return nil, err
 	}

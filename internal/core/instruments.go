@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"subdex/internal/engine"
+	"subdex/internal/obs"
+)
+
+// Instruments bundles the SDE Engine's telemetry: session and step
+// counters, latency histograms for step execution and recommendation
+// scoring, and the RM-Generator's hot-path metrics. A nil *Instruments
+// is a no-op everywhere, so explorers without observability pay nothing.
+type Instruments struct {
+	// SessionsStarted counts NewSession calls
+	// (subdex_sessions_started_total).
+	SessionsStarted *obs.Counter
+	// StepsTotal counts executed exploration steps (subdex_steps_total).
+	StepsTotal *obs.Counter
+	// StepLatency is the end-to-end per-step histogram in seconds —
+	// the paper's §6 interactive-speed signal
+	// (subdex_step_duration_seconds).
+	StepLatency *obs.Histogram
+	// GenLatency times rating-map generation within a step
+	// (subdex_generation_duration_seconds).
+	GenLatency *obs.Histogram
+	// RecLatency times recommendation scoring within a step
+	// (subdex_recommendation_duration_seconds).
+	RecLatency *obs.Histogram
+	// RecCandidates counts candidate operations evaluated by the
+	// Recommendation Builder (subdex_recommendation_candidates_total).
+	RecCandidates *obs.Counter
+	// Engine carries the RM-Generator metrics.
+	Engine *engine.Metrics
+}
+
+// NewInstruments registers the core instruments on r (nil r → nil).
+func NewInstruments(r *obs.Registry) *Instruments {
+	if r == nil {
+		return nil
+	}
+	return &Instruments{
+		SessionsStarted: r.Counter("subdex_sessions_started_total",
+			"Exploration sessions created."),
+		StepsTotal: r.Counter("subdex_steps_total",
+			"Exploration steps executed."),
+		StepLatency: r.Histogram("subdex_step_duration_seconds",
+			"End-to-end duration of one exploration step (generation + recommendations).", nil),
+		GenLatency: r.Histogram("subdex_generation_duration_seconds",
+			"Duration of rating-map generation within a step.", nil),
+		RecLatency: r.Histogram("subdex_recommendation_duration_seconds",
+			"Duration of recommendation scoring within a step.", nil),
+		RecCandidates: r.Counter("subdex_recommendation_candidates_total",
+			"Candidate operations evaluated by the Recommendation Builder."),
+		Engine: engine.NewMetrics(r),
+	}
+}
+
+// Nil-safe recording helpers.
+
+func (in *Instruments) sessionStarted() {
+	if in == nil {
+		return
+	}
+	in.SessionsStarted.Inc()
+}
+
+func (in *Instruments) stepDone(total, gen, rec time.Duration, recCandidates int) {
+	if in == nil {
+		return
+	}
+	in.StepsTotal.Inc()
+	in.StepLatency.ObserveDuration(total)
+	in.GenLatency.ObserveDuration(gen)
+	if rec > 0 {
+		in.RecLatency.ObserveDuration(rec)
+	}
+	in.RecCandidates.Add(int64(recCandidates))
+}
+
+// Instrument attaches a metrics registry to the explorer: core-level
+// counters/histograms plus the RM-Generator's hot-path metrics. Pass nil
+// to detach. Call it once at startup, before serving sessions.
+func (ex *Explorer) Instrument(r *obs.Registry) {
+	ex.Ins = NewInstruments(r)
+	if ex.Ins != nil {
+		ex.Gen.Metrics = ex.Ins.Engine
+	} else {
+		ex.Gen.Metrics = nil
+	}
+}

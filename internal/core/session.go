@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"subdex/internal/obs"
 	"subdex/internal/query"
 	"subdex/internal/ratingmap"
 )
@@ -29,6 +31,7 @@ func NewSession(ex *Explorer, mode Mode, start query.Description) (*Session, err
 	if err := ex.Query.Validate(start); err != nil {
 		return nil, err
 	}
+	ex.Ins.sessionStarted()
 	return &Session{Ex: ex, Mode: mode, cur: start, seen: ratingmap.NewSeenSet(),
 		rb: RecommendationBuilder{Ex: ex}}, nil
 }
@@ -52,7 +55,21 @@ func (s *Session) NumSteps() int { return len(s.steps) }
 // the paper's ordering (an operation's utility depends on the maps "seen by
 // the user up to this step").
 func (s *Session) Step() (*StepResult, error) {
-	res, err := s.Ex.RMSet(s.cur, s.seen)
+	return s.StepCtx(context.Background())
+}
+
+// StepCtx is Step with span propagation: under a context carrying an obs
+// sink (see obs.WithSink) the whole step is recorded as one "core.step"
+// span tree — rating-map generation, engine phases, and recommendation
+// scoring as children — and, when the explorer is instrumented, the
+// step/recommendation latency histograms and counters are updated.
+func (s *Session) StepCtx(ctx context.Context) (*StepResult, error) {
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "core.step")
+	span.SetAttr("selection", s.cur.String())
+	span.SetAttr("mode", s.Mode.String())
+	defer span.End()
+	res, err := s.Ex.RMSetCtx(ctx, s.cur, s.seen)
 	if err != nil {
 		return nil, err
 	}
@@ -60,16 +77,22 @@ func (s *Session) Step() (*StepResult, error) {
 		s.seen.Add(rm)
 	}
 	if s.Mode != UserDriven {
-		start := time.Now()
+		recStart := time.Now()
+		_, rspan := obs.StartSpan(ctx, "core.recommend")
 		recs, durs, err := s.rb.Recommend(s.cur, res.Maps, s.seen, s.Ex.Cfg.O)
 		if err != nil {
+			rspan.End()
 			return nil, err
 		}
 		res.Recommendations = recs
 		res.RecOpDurations = durs
-		res.RecDuration = time.Since(start)
+		res.RecDuration = time.Since(recStart)
+		rspan.SetAttr("evaluated", len(durs))
+		rspan.SetAttr("recommended", len(recs))
+		rspan.End()
 	}
 	s.steps = append(s.steps, res)
+	s.Ex.Ins.stepDone(time.Since(start), res.GenDuration, res.RecDuration, len(res.RecOpDurations))
 	return res, nil
 }
 

@@ -10,12 +10,15 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"subdex/internal/bandit"
 	"subdex/internal/dataset"
+	"subdex/internal/obs"
 	"subdex/internal/query"
 	"subdex/internal/ratingmap"
 	"subdex/internal/stats"
@@ -99,6 +102,10 @@ type Result struct {
 type Generator struct {
 	DB      *dataset.DB
 	Builder ratingmap.Builder
+	// Metrics, when non-nil, receives hot-path telemetry (candidate,
+	// pruning and finalization counters, latency and worker-utilization
+	// histograms). Leave nil for a zero-overhead generator.
+	Metrics *Metrics
 }
 
 // NewGenerator wraps a frozen database.
@@ -126,13 +133,40 @@ func (g *Generator) Candidates(qe *query.Engine, desc query.Description) []ratin
 // utility, pruning low-utility candidates at phase boundaries.
 func (g *Generator) TopMaps(group *query.RatingGroup, candidates []ratingmap.Key,
 	seen *ratingmap.SeenSet, kPrime int, cfg Config) (*Result, error) {
+	return g.TopMapsCtx(context.Background(), group, candidates, seen, kPrime, cfg)
+}
+
+// TopMapsCtx is TopMaps with span propagation: under a context carrying
+// an obs sink it emits an "engine.topmaps" span with one "engine.phase"
+// child per executed phase, and — when Generator.Metrics is installed —
+// records the hot-path counters and histograms. Both instruments are
+// no-ops when absent; the context is not consulted for cancellation (a
+// TopMaps call is one interactive step and runs to completion).
+func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, candidates []ratingmap.Key,
+	seen *ratingmap.SeenSet, kPrime int, cfg Config) (*Result, error) {
 	if kPrime <= 0 {
 		return nil, fmt.Errorf("engine: kPrime must be positive, got %d", kPrime)
 	}
 	if cfg.Phases <= 0 {
 		cfg.Phases = 1
 	}
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "engine.topmaps")
+	span.SetAttr("candidates", len(candidates))
+	span.SetAttr("records", len(group.Records))
+	span.SetAttr("k_prime", kPrime)
+	span.SetAttr("pruning", cfg.Pruning.String())
+	g.Metrics.addCandidates(len(candidates))
 	res := &Result{Considered: len(candidates)}
+	defer func() {
+		g.Metrics.addPruned(res.PrunedCI, res.PrunedMAB)
+		g.Metrics.addFinalized(len(res.Maps))
+		g.Metrics.observeTopMaps(time.Since(start))
+		span.SetAttr("pruned_ci", res.PrunedCI)
+		span.SetAttr("pruned_mab", res.PrunedMAB)
+		span.SetAttr("maps", len(res.Maps))
+		span.End()
+	}()
 	if len(candidates) == 0 {
 		return res, nil
 	}
@@ -142,6 +176,7 @@ func (g *Generator) TopMaps(group *query.RatingGroup, candidates []ratingmap.Key
 
 	usePhases := cfg.Pruning != PruneNone && cfg.Phases > 1 &&
 		n >= cfg.MinPhaseRecords && len(candidates) > kPrime
+	span.SetAttr("phased", usePhases)
 
 	if !usePhases {
 		acc.Update(group.Records)
@@ -174,9 +209,21 @@ func (g *Generator) TopMaps(group *query.RatingGroup, candidates []ratingmap.Key
 		if lo >= hi {
 			continue
 		}
+		phaseStart := time.Now()
+		_, pspan := obs.StartSpan(ctx, "engine.phase")
+		pspan.SetAttr("phase", phase)
+		ciBefore, mabBefore := res.PrunedCI, res.PrunedMAB
+		endPhase := func() {
+			g.Metrics.observePhase(time.Since(phaseStart))
+			pspan.SetAttr("alive", len(alive))
+			pspan.SetAttr("pruned_ci", res.PrunedCI-ciBefore)
+			pspan.SetAttr("pruned_mab", res.PrunedMAB-mabBefore)
+			pspan.End()
+		}
 		acc.Update(group.Records[lo:hi])
 		processed = hi
 		if phase == cfg.Phases-1 {
+			endPhase()
 			break // nothing to prune after the last fraction; finalize below
 		}
 
@@ -231,8 +278,10 @@ func (g *Generator) TopMaps(group *query.RatingGroup, candidates []ratingmap.Key
 					acc.Update(group.Records[lo:hi])
 				}
 			}
+			endPhase()
 			break
 		}
+		endPhase()
 	}
 	g.finalize(acc, seen, kPrime, cfg, res)
 	return res, nil
@@ -267,6 +316,8 @@ func (g *Generator) estimate(acc *ratingmap.Accumulator, alive map[int]ratingmap
 	if workers < 1 {
 		workers = 1
 	}
+	poolStart := time.Now()
+	busy := make([]time.Duration, workers)
 	var wg sync.WaitGroup
 	chunk := (len(idxs) + workers - 1) / workers
 	for w := 0; w < workers && w*chunk < len(idxs); w++ {
@@ -275,8 +326,10 @@ func (g *Generator) estimate(acc *ratingmap.Accumulator, alive map[int]ratingmap
 			hi = len(idxs)
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			t0 := time.Now()
+			defer func() { busy[w] = time.Since(t0) }()
 			for p := lo; p < hi; p++ {
 				idx := idxs[p]
 				key := alive[idx]
@@ -293,9 +346,14 @@ func (g *Generator) estimate(acc *ratingmap.Accumulator, alive map[int]ratingmap
 					dwMean: w * scores.Aggregate(cfg.utility()),
 				}
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	var totalBusy time.Duration
+	for _, b := range busy {
+		totalBusy += b
+	}
+	g.Metrics.observeUtilization(totalBusy, time.Since(poolStart), workers)
 	m := make(map[int]estimateEntry, len(out))
 	for _, e := range out {
 		m[e.idx] = e
@@ -388,6 +446,8 @@ func (g *Generator) finalize(acc *ratingmap.Accumulator, seen *ratingmap.SeenSet
 	if workers < 1 {
 		workers = 1
 	}
+	poolStart := time.Now()
+	busy := make([]time.Duration, workers)
 	var wg sync.WaitGroup
 	chunk := (len(keys) + workers - 1) / workers
 	for w := 0; w < workers && w*chunk < len(keys); w++ {
@@ -396,14 +456,21 @@ func (g *Generator) finalize(acc *ratingmap.Accumulator, seen *ratingmap.SeenSet
 			hi = len(keys)
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			t0 := time.Now()
 			for i := lo; i < hi; i++ {
 				scores[i], _ = acc.CriteriaEstimateOpt(keys[i], seen, 1, cfg.Utility.Peculiarity)
 			}
-		}(lo, hi)
+			busy[w] = time.Since(t0)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	var totalBusy time.Duration
+	for _, b := range busy {
+		totalBusy += b
+	}
+	g.Metrics.observeUtilization(totalBusy, time.Since(poolStart), workers)
 
 	if cfg.Utility.Normalize && len(keys) > 1 {
 		col := make([]float64, len(keys))

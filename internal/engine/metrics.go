@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"time"
+
+	"subdex/internal/obs"
+)
+
+// Metrics bundles the generator's hot-path instruments. Resolve one with
+// NewMetrics at startup and attach it to Generator.Metrics; a nil
+// *Metrics (the default) makes every record call a no-op, so the
+// instrumented hot path costs nothing to library users and tests.
+type Metrics struct {
+	// Candidates counts rating-map candidates enumerated across TopMaps
+	// calls (subdex_engine_candidates_total).
+	Candidates *obs.Counter
+	// PrunedCI / PrunedMAB count candidates eliminated by each pruning
+	// scheme (subdex_engine_candidates_pruned_total{strategy=...}).
+	PrunedCI  *obs.Counter
+	PrunedMAB *obs.Counter
+	// Finalized counts rating maps materialized into results
+	// (subdex_engine_maps_finalized_total).
+	Finalized *obs.Counter
+	// TopMapsLatency is the per-TopMaps wall-clock histogram in seconds
+	// (subdex_engine_topmaps_duration_seconds).
+	TopMapsLatency *obs.Histogram
+	// PhaseLatency times one phase of Algorithm 1: the partial scan plus
+	// the phase-boundary estimation and pruning
+	// (subdex_engine_phase_duration_seconds).
+	PhaseLatency *obs.Histogram
+	// WorkerUtilization is Σ busy-time / (wall × workers) of the parallel
+	// estimation pools, in (0,1]
+	// (subdex_engine_worker_utilization_ratio).
+	WorkerUtilization *obs.Histogram
+}
+
+// NewMetrics registers the engine's instruments on r. A nil registry
+// yields a nil (no-op) Metrics.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Candidates: r.Counter("subdex_engine_candidates_total",
+			"Rating-map candidates enumerated by the RM-Generator."),
+		PrunedCI: r.Counter("subdex_engine_candidates_pruned_total",
+			"Candidates eliminated at phase boundaries, by pruning strategy.",
+			obs.L("strategy", "ci")),
+		PrunedMAB: r.Counter("subdex_engine_candidates_pruned_total",
+			"Candidates eliminated at phase boundaries, by pruning strategy.",
+			obs.L("strategy", "mab")),
+		Finalized: r.Counter("subdex_engine_maps_finalized_total",
+			"Rating maps materialized into TopMaps results."),
+		TopMapsLatency: r.Histogram("subdex_engine_topmaps_duration_seconds",
+			"Wall-clock duration of one TopMaps call.", nil),
+		PhaseLatency: r.Histogram("subdex_engine_phase_duration_seconds",
+			"Duration of one Algorithm 1 phase (scan + estimate + prune).", nil),
+		WorkerUtilization: r.Histogram("subdex_engine_worker_utilization_ratio",
+			"Busy-time share of the parallel estimation worker pool.",
+			obs.RatioBuckets),
+	}
+}
+
+// Nil-safe recording helpers: the hot path calls these unconditionally.
+
+func (m *Metrics) addCandidates(n int) {
+	if m == nil {
+		return
+	}
+	m.Candidates.Add(int64(n))
+}
+
+func (m *Metrics) addPruned(ci, mab int) {
+	if m == nil {
+		return
+	}
+	m.PrunedCI.Add(int64(ci))
+	m.PrunedMAB.Add(int64(mab))
+}
+
+func (m *Metrics) addFinalized(n int) {
+	if m == nil {
+		return
+	}
+	m.Finalized.Add(int64(n))
+}
+
+func (m *Metrics) observeTopMaps(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.TopMapsLatency.ObserveDuration(d)
+}
+
+func (m *Metrics) observePhase(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.PhaseLatency.ObserveDuration(d)
+}
+
+// observeUtilization records Σbusy/(wall×workers), clamped to (0,1].
+func (m *Metrics) observeUtilization(busy, wall time.Duration, workers int) {
+	if m == nil || wall <= 0 || workers < 1 {
+		return
+	}
+	u := busy.Seconds() / (wall.Seconds() * float64(workers))
+	if u > 1 {
+		u = 1
+	}
+	m.WorkerUtilization.Observe(u)
+}

@@ -11,6 +11,13 @@
 //	GET  /sessions/{id}/summary                              -> path summary
 //	GET  /sessions/{id}/maps/{n}/vega                        -> Vega-Lite spec of map n
 //	GET  /healthz
+//	GET  /metrics                                            -> Prometheus text format
+//	GET  /debug/spans                                        -> recent span trees (JSON)
+//
+// Every request runs through observability middleware: request latency
+// and status are recorded in the obs registry, the request carries a
+// span sink so one exploration step yields a full span tree, and
+// in-flight requests and live sessions are tracked as gauges.
 package server
 
 import (
@@ -20,40 +27,132 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"subdex/internal/core"
 	"subdex/internal/dataset"
+	"subdex/internal/obs"
 	"subdex/internal/query"
 	"subdex/internal/ratingmap"
 )
 
-// Server owns an explorer and its live sessions.
+// spanRingSize bounds the /debug/spans buffer.
+const spanRingSize = 64
+
+// Server owns an explorer, its live sessions, and the observability
+// surface (metrics registry + recent-span ring).
 type Server struct {
-	ex *core.Explorer
+	ex    *core.Explorer
+	reg   *obs.Registry
+	spans *obs.RingSink
+
+	httpInFlight *obs.Gauge
+	sessionsLive *obs.Gauge
 
 	mu       sync.Mutex
 	sessions map[int]*core.Session
 	nextID   int
 }
 
-// New builds a server over a frozen database.
+// New builds a server over a frozen database. The server owns a metrics
+// registry (exposed at /metrics and via Registry) and instruments the
+// explorer with it.
 func New(db *dataset.DB, cfg core.Config) (*Server, error) {
 	ex, err := core.NewExplorer(db, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{ex: ex, sessions: make(map[int]*core.Session), nextID: 1}, nil
+	reg := obs.NewRegistry()
+	ex.Instrument(reg)
+	return &Server{
+		ex:    ex,
+		reg:   reg,
+		spans: obs.NewRingSink(spanRingSize),
+		httpInFlight: reg.Gauge("subdex_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		sessionsLive: reg.Gauge("subdex_sessions_in_flight",
+			"Exploration sessions currently held by the server."),
+		sessions: make(map[int]*core.Session),
+		nextID:   1,
+	}, nil
 }
 
-// Handler returns the HTTP handler.
+// Registry exposes the server's metrics registry, e.g. for registering
+// process-level gauges next to the engine metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the HTTP handler with observability middleware
+// installed on every route.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "database": s.ex.DB.Name})
-	})
-	mux.HandleFunc("/sessions", s.handleCreateSession)
-	mux.HandleFunc("/sessions/", s.handleSession)
+	}))
+	mux.HandleFunc("/sessions", s.instrument("/sessions", s.handleCreateSession))
+	mux.HandleFunc("/sessions/", s.instrument("/sessions/{id}", s.handleSession))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/spans", s.instrument("/debug/spans", s.handleSpans))
 	return mux
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the observability middleware: an
+// in-flight gauge, a per-route latency histogram, a per-route/status
+// request counter, and a root span (collected into the /debug/spans
+// ring) covering the whole request.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.httpInFlight.Inc()
+		defer s.httpInFlight.Dec()
+		start := time.Now()
+		ctx := obs.WithSink(r.Context(), s.spans)
+		ctx, span := obs.StartSpan(ctx, "http "+r.Method+" "+route)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		span.SetAttr("status", sw.status)
+		span.SetAttr("path", r.URL.Path)
+		span.End()
+		s.reg.Histogram("subdex_http_request_duration_seconds",
+			"HTTP request latency by route.", nil, obs.L("route", route)).
+			ObserveDuration(elapsed)
+		s.reg.Counter("subdex_http_requests_total",
+			"HTTP requests by route and status code.",
+			obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
+	}
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleSpans serves the most recent request span trees, newest first.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"spans": s.spans.Snapshot()})
 }
 
 // createSessionRequest selects the exploration mode.
@@ -65,6 +164,7 @@ type createSessionRequest struct {
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
@@ -104,6 +204,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	s.sessions[id] = sess
 	s.mu.Unlock()
+	s.sessionsLive.Inc()
 	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "mode": mode.String()})
 }
 
@@ -131,9 +232,13 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	if len(parts) > 1 {
 		action = parts[1]
 	}
+	// Known actions answer 405 (with Allow) on the wrong method instead
+	// of falling through to 404.
+	allowed := map[string]string{"step": http.MethodGet, "apply": http.MethodPost,
+		"summary": http.MethodGet, "maps": http.MethodGet}
 	switch {
 	case action == "step" && r.Method == http.MethodGet:
-		s.handleStep(w, sess)
+		s.handleStep(w, r, sess)
 	case action == "apply" && r.Method == http.MethodPost:
 		s.handleApply(w, r, sess)
 	case action == "summary" && r.Method == http.MethodGet:
@@ -141,6 +246,11 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	case action == "maps" && len(parts) == 4 && parts[3] == "vega" && r.Method == http.MethodGet:
 		s.handleVega(w, sess, parts[2])
 	default:
+		if method, known := allowed[action]; known && r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, method+" only")
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown action "+action)
 	}
 }
@@ -176,11 +286,13 @@ func (s *Server) handleVega(w http.ResponseWriter, sess *core.Session, idx strin
 	_, _ = w.Write(spec)
 }
 
-func (s *Server) handleStep(w http.ResponseWriter, sess *core.Session) {
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, sess *core.Session) {
 	// One session is single-threaded: the paper's UI issues one step at a
-	// time; serialize defensively.
+	// time; serialize defensively. The request context carries the span
+	// sink installed by the middleware, so the step's span tree hangs off
+	// the HTTP request's root span.
 	s.mu.Lock()
-	step, err := sess.Step()
+	step, err := sess.StepCtx(r.Context())
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())

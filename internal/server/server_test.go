@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"subdex/internal/core"
@@ -194,6 +196,157 @@ func TestServerErrors(t *testing.T) {
 	resp, _ = postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id), map[string]any{"back": true})
 	if resp.StatusCode != http.StatusConflict {
 		t.Errorf("back on empty history: %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint drives one exploration step and asserts the
+// /metrics payload carries the whole observability surface: step-latency
+// histogram, candidate/pruning counters split by strategy, HTTP request
+// telemetry, and the in-flight gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+	var step StepJSON
+	getJSON(t, fmt.Sprintf("%s/sessions/%d/step", ts.URL, id), &step)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type: %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"subdex_step_duration_seconds_bucket",
+		"subdex_step_duration_seconds_count 1",
+		"subdex_generation_duration_seconds_bucket",
+		"subdex_recommendation_duration_seconds_bucket",
+		"subdex_engine_candidates_total",
+		`subdex_engine_candidates_pruned_total{strategy="ci"}`,
+		`subdex_engine_candidates_pruned_total{strategy="mab"}`,
+		"subdex_engine_maps_finalized_total",
+		"subdex_engine_topmaps_duration_seconds_bucket",
+		"subdex_http_request_duration_seconds_bucket",
+		`subdex_http_requests_total{route="/sessions",code="201"}`,
+		"subdex_http_in_flight_requests",
+		"subdex_sessions_in_flight 1",
+		"subdex_sessions_started_total 1",
+		"subdex_steps_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The in-flight gauge must include the /metrics request itself.
+	if !strings.Contains(text, "subdex_http_in_flight_requests 1") {
+		t.Errorf("in-flight gauge should read 1 while serving /metrics")
+	}
+	// A session step enumerates candidates; the counter must be non-zero.
+	if strings.Contains(text, "subdex_engine_candidates_total 0\n") {
+		t.Error("candidates counter still zero after a step")
+	}
+}
+
+// TestDebugSpansEndpoint asserts one HTTP-driven step produces a span
+// tree reaching from the request root through the engine.
+func TestDebugSpansEndpoint(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
+	id := int(created["id"].(float64))
+	var step StepJSON
+	getJSON(t, fmt.Sprintf("%s/sessions/%d/step", ts.URL, id), &step)
+
+	var out struct {
+		Spans []struct {
+			Name       string  `json:"name"`
+			DurationMS float64 `json:"duration_ms"`
+			Children   []struct {
+				Name     string `json:"name"`
+				Children []struct {
+					Name string `json:"name"`
+				} `json:"children"`
+			} `json:"children"`
+		} `json:"spans"`
+	}
+	resp := getJSON(t, ts.URL+"/debug/spans", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/spans: %d", resp.StatusCode)
+	}
+	if len(out.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	// Newest-first: find the step request's root span.
+	var found bool
+	for _, s := range out.Spans {
+		if s.Name != "http GET /sessions/{id}" {
+			continue
+		}
+		for _, c := range s.Children {
+			if c.Name != "core.step" {
+				continue
+			}
+			found = true
+			if len(c.Children) == 0 || c.Children[0].Name != "core.rmset" {
+				t.Fatalf("core.step children wrong: %+v", c.Children)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no step span tree found in %+v", out.Spans)
+	}
+}
+
+// TestMethodNotAllowed covers the 405-with-Allow contract on /sessions
+// and /sessions/{id}/....
+func TestMethodNotAllowed(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
+	id := int(created["id"].(float64))
+
+	check := func(method, url, wantAllow string) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: got %d, want 405", method, url, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != wantAllow {
+			t.Errorf("%s %s: Allow = %q, want %q", method, url, got, wantAllow)
+		}
+	}
+	check(http.MethodGet, ts.URL+"/sessions", http.MethodPost)
+	check(http.MethodDelete, ts.URL+"/sessions", http.MethodPost)
+	check(http.MethodPost, fmt.Sprintf("%s/sessions/%d/step", ts.URL, id), http.MethodGet)
+	check(http.MethodGet, fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id), http.MethodPost)
+	check(http.MethodPost, fmt.Sprintf("%s/sessions/%d/summary", ts.URL, id), http.MethodGet)
+	check(http.MethodPost, ts.URL+"/metrics", http.MethodGet)
+	check(http.MethodPost, ts.URL+"/debug/spans", http.MethodGet)
+
+	// Unknown actions stay 404.
+	resp, err := http.Get(fmt.Sprintf("%s/sessions/%d/nonsense", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown action: got %d, want 404", resp.StatusCode)
 	}
 }
 

@@ -34,6 +34,20 @@ type Event struct {
 	ChosenOp string `json:"chosen_op,omitempty"`
 	// At is the wall-clock time the step was recorded.
 	At time.Time `json:"at"`
+
+	// Telemetry (optional, version-1 compatible): persisted session logs
+	// carry the same per-step signals the live /metrics endpoint exposes,
+	// so log-based recommenders and offline latency analyses see them.
+
+	// DurationMS is the rating-map generation wall-clock time of the step
+	// in milliseconds; RecommendationMS the recommendation-scoring time.
+	DurationMS       float64 `json:"duration_ms,omitempty"`
+	RecommendationMS float64 `json:"recommendation_ms,omitempty"`
+	// Considered is the initial rating-map candidate count; PrunedCI and
+	// PrunedMAB count candidates eliminated by each pruning scheme.
+	Considered int `json:"considered,omitempty"`
+	PrunedCI   int `json:"pruned_ci,omitempty"`
+	PrunedMAB  int `json:"pruned_mab,omitempty"`
 }
 
 // Trace is an ordered session log.
@@ -52,10 +66,15 @@ func FromSession(sess *core.Session) *Trace {
 	steps := sess.Steps()
 	for i, st := range steps {
 		ev := Event{
-			Step:      i + 1,
-			Selection: st.Desc.String(),
-			GroupSize: st.GroupSize,
-			At:        time.Now(),
+			Step:             i + 1,
+			Selection:        st.Desc.String(),
+			GroupSize:        st.GroupSize,
+			At:               time.Now(),
+			DurationMS:       float64(st.GenDuration.Microseconds()) / 1000,
+			RecommendationMS: float64(st.RecDuration.Microseconds()) / 1000,
+			Considered:       st.Considered,
+			PrunedCI:         st.PrunedCI,
+			PrunedMAB:        st.PrunedMAB,
 		}
 		for j, rm := range st.Maps {
 			ev.Maps = append(ev.Maps, fmt.Sprintf("%s.%s/%s", rm.Side, rm.Attr, rm.DimName))

@@ -68,6 +68,43 @@ func TestFromSession(t *testing.T) {
 	}
 }
 
+// TestFromSessionTelemetry checks that persisted session logs carry the
+// per-step telemetry (durations, candidate and pruning counters) and
+// that it survives the JSONL round trip.
+func TestFromSessionTelemetry(t *testing.T) {
+	_, sess := traceSession(t)
+	tr := FromSession(sess)
+	for i, ev := range tr.Events {
+		if ev.DurationMS <= 0 {
+			t.Errorf("event %d: DurationMS = %v, want > 0", i, ev.DurationMS)
+		}
+		if ev.RecommendationMS <= 0 {
+			t.Errorf("event %d: RecommendationMS = %v, want > 0 (rp mode)", i, ev.RecommendationMS)
+		}
+		if ev.Considered <= 0 {
+			t.Errorf("event %d: Considered = %d, want > 0", i, ev.Considered)
+		}
+		if ev.PrunedCI < 0 || ev.PrunedMAB < 0 {
+			t.Errorf("event %d: negative prune counts", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Events {
+		a, b := tr.Events[i], back.Events[i]
+		if a.DurationMS != b.DurationMS || a.RecommendationMS != b.RecommendationMS ||
+			a.Considered != b.Considered || a.PrunedCI != b.PrunedCI || a.PrunedMAB != b.PrunedMAB {
+			t.Fatalf("event %d telemetry changed in round trip: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	_, sess := traceSession(t)
 	tr := FromSession(sess)

@@ -23,11 +23,14 @@
 package subdex
 
 import (
+	"context"
+
 	"subdex/internal/core"
 	"subdex/internal/dataset"
 	"subdex/internal/diversity"
 	"subdex/internal/engine"
 	"subdex/internal/gen"
+	"subdex/internal/obs"
 	"subdex/internal/query"
 	"subdex/internal/ratingmap"
 )
@@ -67,6 +70,13 @@ type (
 	EngineConfig = engine.Config
 	// UtilityConfig tunes interestingness scoring.
 	UtilityConfig = ratingmap.UtilityConfig
+	// Registry is a metrics registry (counters, gauges, histograms) with
+	// a Prometheus text encoder; attach one to an Explorer via
+	// Explorer.Instrument to collect engine telemetry.
+	Registry = obs.Registry
+	// SpanSink receives finished span trees; install one on a context
+	// with WithSpanSink so Session.StepCtx records a per-step span tree.
+	SpanSink = obs.SpanSink
 )
 
 // Exploration modes (§3.3).
@@ -119,6 +129,16 @@ func Parse(ex *Explorer, predicate string) (Description, error) {
 
 // EMD is the default Earth Mover's Distance between rating maps.
 var EMD = diversity.EMD
+
+// NewRegistry returns an empty metrics registry for Explorer.Instrument.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// WithSpanSink installs a span sink on a context; exploration calls made
+// with that context (Session.StepCtx, Explorer.RMSetCtx) then emit span
+// trees to it. obs.NewRingSink(n) is a ready-made bounded sink.
+func WithSpanSink(ctx context.Context, sink SpanSink) context.Context {
+	return obs.WithSink(ctx, sink)
+}
 
 // GenerateMovielens builds the MovieLens-100K-shaped synthetic database
 // (Table 2 row 1). Scale 1.0 is paper size; smaller scales shrink it.
