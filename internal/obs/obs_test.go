@@ -100,6 +100,47 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 }
 
+// TestConcurrentFirstUse is the regression test for the lazy-creation
+// race: many goroutines racing on the *first* resolution of the same
+// fresh series (the middleware pattern — resolve per request) while
+// WritePrometheus runs concurrently. Under the old code this lost
+// increments (two instruments allocated, one overwritten) and could
+// panic in writeHistogram on a published-but-nil histogram; now
+// instruments are born inside the registry lock, so every goroutine
+// shares one instrument and the encoder never sees a nil one.
+func TestConcurrentFirstUse(t *testing.T) {
+	const goroutines, rounds = 16, 50
+	for round := 0; round < rounds; round++ {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				r.Counter("first_use_total", "h").Inc()
+				r.Gauge("first_use_gauge", "h").Add(1)
+				r.Histogram("first_use_seconds", "h", nil).Observe(0.01)
+				// Encode concurrently with first-use registration.
+				_ = r.WritePrometheus(&strings.Builder{})
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if got := r.Counter("first_use_total", "").Value(); got != goroutines {
+			t.Fatalf("round %d: counter lost first-use increments: got %d want %d",
+				round, got, goroutines)
+		}
+		if got := r.Gauge("first_use_gauge", "").Value(); got != goroutines {
+			t.Fatalf("round %d: gauge lost first-use adds: got %v", round, got)
+		}
+		if got := r.Histogram("first_use_seconds", "", nil).Count(); got != goroutines {
+			t.Fatalf("round %d: histogram lost first-use observations: got %d", round, got)
+		}
+	}
+}
+
 func perGSum(n int) float64 {
 	s := 0.0
 	for j := 0; j < n; j++ {

@@ -239,9 +239,13 @@ func seriesID(name string, labels []Label) string {
 	return b.String()
 }
 
-// lookup returns the existing series or registers a new one. Kind
+// lookup returns the existing series or registers a new one. The
+// instrument itself is allocated here, while r.mu is held, so a series
+// is never published with a nil instrument and concurrent first-use of
+// the same (name, labels) resolves to one shared instrument. Kind
 // mismatches on the same (name, labels) are programmer errors and panic.
-func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
+// bounds is only consulted for kindHistogram.
+func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels []Label) *series {
 	id := seriesID(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -252,6 +256,20 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *s
 		return s
 	}
 	s := &series{name: name, labels: append([]Label(nil), labels...), kind: kind, help: help}
+	switch kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		s.histogram = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
 	r.series[id] = s
 	return s
 }
@@ -263,11 +281,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, kindCounter, labels)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	return r.lookup(name, help, kindCounter, nil, labels).counter
 }
 
 // Gauge returns the gauge registered under (name, labels). Nil-safe.
@@ -275,11 +289,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, kindGauge, labels)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	return r.lookup(name, help, kindGauge, nil, labels).gauge
 }
 
 // Histogram returns the histogram registered under (name, labels) with
@@ -289,17 +299,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, kindHistogram, labels)
-	if s.histogram == nil {
-		if bounds == nil {
-			bounds = DefBuckets
-		}
-		s.histogram = &Histogram{
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]atomic.Int64, len(bounds)+1),
-		}
-	}
-	return s.histogram
+	return r.lookup(name, help, kindHistogram, bounds, labels).histogram
 }
 
 // WritePrometheus encodes every registered series in the Prometheus text

@@ -9,6 +9,7 @@
 //	POST /sessions/{id}/apply     {"recommendation":1}       -> follow rec #1
 //	POST /sessions/{id}/apply     {"back":true}              -> previous selection
 //	GET  /sessions/{id}/summary                              -> path summary
+//	DELETE /sessions/{id}                                    -> drop the session
 //	GET  /sessions/{id}/maps/{n}/vega                        -> Vega-Lite spec of map n
 //	GET  /healthz
 //	GET  /metrics                                            -> Prometheus text format
@@ -113,22 +114,32 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.httpInFlight.Inc()
-		defer s.httpInFlight.Dec()
 		start := time.Now()
 		ctx := obs.WithSink(r.Context(), s.spans)
 		ctx, span := obs.StartSpan(ctx, "http "+r.Method+" "+route)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// All bookkeeping is deferred so a panicking handler still ends
+		// its span and is counted (net/http's recovery then sees the
+		// panic as usual; the connection drops, which clients observe as
+		// an aborted response).
+		defer func() {
+			if p := recover(); p != nil {
+				sw.status = http.StatusInternalServerError
+				span.SetAttr("panic", fmt.Sprint(p))
+				defer panic(p)
+			}
+			s.httpInFlight.Dec()
+			span.SetAttr("status", sw.status)
+			span.SetAttr("path", r.URL.Path)
+			span.End()
+			s.reg.Histogram("subdex_http_request_duration_seconds",
+				"HTTP request latency by route.", nil, obs.L("route", route)).
+				ObserveDuration(time.Since(start))
+			s.reg.Counter("subdex_http_requests_total",
+				"HTTP requests by route and status code.",
+				obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
+		}()
 		h(sw, r.WithContext(ctx))
-		elapsed := time.Since(start)
-		span.SetAttr("status", sw.status)
-		span.SetAttr("path", r.URL.Path)
-		span.End()
-		s.reg.Histogram("subdex_http_request_duration_seconds",
-			"HTTP request latency by route.", nil, obs.L("route", route)).
-			ObserveDuration(elapsed)
-		s.reg.Counter("subdex_http_requests_total",
-			"HTTP requests by route and status code.",
-			obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
 	}
 }
 
@@ -215,6 +226,24 @@ func (s *Server) session(id int) (*core.Session, bool) {
 	return sess, ok
 }
 
+// handleDelete removes a session and decrements the in-flight gauge.
+// Presence is rechecked under the lock so two concurrent DELETEs of the
+// same id cannot double-decrement.
+func (s *Server) handleDelete(w http.ResponseWriter, id int) {
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	s.sessionsLive.Dec()
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/sessions/")
 	parts := strings.Split(rest, "/")
@@ -234,9 +263,11 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	}
 	// Known actions answer 405 (with Allow) on the wrong method instead
 	// of falling through to 404.
-	allowed := map[string]string{"step": http.MethodGet, "apply": http.MethodPost,
-		"summary": http.MethodGet, "maps": http.MethodGet}
+	allowed := map[string]string{"": http.MethodDelete, "step": http.MethodGet,
+		"apply": http.MethodPost, "summary": http.MethodGet, "maps": http.MethodGet}
 	switch {
+	case action == "" && r.Method == http.MethodDelete:
+		s.handleDelete(w, id)
 	case action == "step" && r.Method == http.MethodGet:
 		s.handleStep(w, r, sess)
 	case action == "apply" && r.Method == http.MethodPost:

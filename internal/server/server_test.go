@@ -350,6 +350,105 @@ func TestMethodNotAllowed(t *testing.T) {
 	}
 }
 
+// TestSessionDelete covers DELETE /sessions/{id}: the session is gone
+// afterwards, a second delete is 404, the in-flight gauge returns to 0
+// (while the started counter keeps the total), and the wrong method on
+// /sessions/{id} answers 405 with Allow: DELETE.
+func TestSessionDelete(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
+	id := int(created["id"].(float64))
+
+	do := func(method, url string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Wrong method on the bare session resource: 405 + Allow.
+	resp := do(http.MethodGet, fmt.Sprintf("%s/sessions/%d", ts.URL, id))
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodDelete {
+		t.Fatalf("GET /sessions/{id}: %d Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+
+	if resp = do(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", ts.URL, id)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	// The session is gone: step is 404, second delete is 404.
+	if resp = do(http.MethodGet, fmt.Sprintf("%s/sessions/%d/step", ts.URL, id)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("step after delete: %d", resp.StatusCode)
+	}
+	if resp = do(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", ts.URL, id)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete: %d", resp.StatusCode)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "subdex_sessions_in_flight 0") {
+		t.Errorf("in-flight gauge should return to 0 after delete:\n%s", text)
+	}
+	if !strings.Contains(text, "subdex_sessions_started_total 1") {
+		t.Errorf("started counter should keep the total:\n%s", text)
+	}
+}
+
+// TestInstrumentPanicBookkeeping asserts the middleware's deferred
+// bookkeeping survives a panicking handler: the in-flight gauge still
+// decrements, the request is counted as a 500, and the root span is
+// ended (appears in the ring) — then the panic is re-raised for
+// net/http to handle.
+func TestInstrumentPanicBookkeeping(t *testing.T) {
+	db, err := gen.Yelp(gen.Config{Seed: 2, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(db, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.instrument("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("middleware must re-raise the handler panic")
+			}
+		}()
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/boom", nil))
+	}()
+	if got := s.httpInFlight.Value(); got != 0 {
+		t.Errorf("in-flight gauge leaked: %v", got)
+	}
+	var b strings.Builder
+	if err := s.reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `subdex_http_requests_total{route="/boom",code="500"} 1`) {
+		t.Errorf("panicking request not counted as 500:\n%s", b.String())
+	}
+	spans := s.spans.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("panicking request must still end its root span")
+	}
+	if spans[0].Name != "http GET /boom" {
+		t.Errorf("unexpected root span %q", spans[0].Name)
+	}
+}
+
 func TestVegaEndpoint(t *testing.T) {
 	ts := testServer(t)
 	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
