@@ -19,6 +19,13 @@
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -shutdown-timeout.
+//
+// Robustness knobs: -step-timeout bounds each step's compute (past the
+// first engine phase the step degrades to an anytime result with
+// "degraded": true; before it the request answers 504), -max-sessions
+// caps live sessions (429 + Retry-After on breach), and -session-ttl
+// evicts idle sessions. The listener itself runs with read-header, read
+// and idle timeouts so stalled clients cannot pin connections.
 package main
 
 import (
@@ -51,6 +58,13 @@ func main() {
 		l        = flag.Int("l", 3, "pruning-diversity factor")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		drain    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain timeout")
+
+		stepTimeout = flag.Duration("step-timeout", 0,
+			"per-step compute deadline; past the first phase boundary the step degrades to an anytime result, before it the request answers 504 (0 = unlimited)")
+		maxSessions = flag.Int("max-sessions", 0,
+			"admission cap on live sessions; breaches answer 429 with Retry-After (0 = unlimited)")
+		sessionTTL = flag.Duration("session-ttl", 0,
+			"evict sessions idle longer than this (0 = never)")
 	)
 	flag.Parse()
 
@@ -61,12 +75,17 @@ func main() {
 	}
 	cfg := subdex.DefaultConfig()
 	cfg.K, cfg.O, cfg.L = *k, *o, *l
+	cfg.StepTimeout = *stepTimeout
 
-	srv, err := server.New(db, cfg)
+	srv, err := server.NewWithOptions(db, cfg, server.Options{
+		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "subdexd:", err)
 		os.Exit(1)
 	}
+	defer srv.Close()
 	s := db.Stats()
 	fmt.Printf("subdexd: serving %s (%d reviewers, %d items, %d ratings) on %s\n",
 		s.Name, s.NumReviewers, s.NumItems, s.NumRatings, *addr)
@@ -74,7 +93,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Hardened listener: slow or stalled clients cannot hold connections
+	// (and their goroutines) open indefinitely. WriteTimeout is left
+	// unset on purpose — legitimate steps may run long when no
+	// -step-timeout is configured; response lifetime is bounded by the
+	// step deadline instead.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errCh := make(chan error, 2)
 	go func() {
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -84,7 +114,8 @@ func main() {
 
 	var debugSrv *http.Server
 	if *debug != "" {
-		debugSrv = &http.Server{Addr: *debug, Handler: debugMux()}
+		debugSrv = &http.Server{Addr: *debug, Handler: debugMux(),
+			ReadHeaderTimeout: 5 * time.Second}
 		fmt.Printf("subdexd: pprof on http://%s/debug/pprof/\n", *debug)
 		go func() {
 			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {

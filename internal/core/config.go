@@ -8,6 +8,8 @@
 package core
 
 import (
+	"time"
+
 	"subdex/internal/diversity"
 	"subdex/internal/engine"
 	"subdex/internal/query"
@@ -50,6 +52,14 @@ type Config struct {
 	// LogAffinityScorer (or any OperationScorer) here for personalized
 	// recommendations, the replacement point §5.2.2 describes.
 	Scorer OperationScorer
+	// StepTimeout bounds the compute time of one exploration step
+	// (Session.StepCtx); 0 (the default) is unlimited. When the deadline
+	// hits after the engine's first phase boundary the step degrades to an
+	// anytime result (StepResult.Degraded) instead of failing; before any
+	// phase completes StepCtx returns context.DeadlineExceeded. The
+	// recommendation pass is skipped entirely once the deadline has
+	// passed — it would start a fresh full-cost computation.
+	StepTimeout time.Duration
 	// GroupCacheRecords budgets the query engine's materialization cache
 	// (total cached rating-record count; 0 selects the default, negative
 	// disables). Candidate-operation evaluation revisits many selections;

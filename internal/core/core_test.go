@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"subdex/internal/dataset"
 	"subdex/internal/gen"
@@ -374,5 +376,70 @@ func TestExplainMap(t *testing.T) {
 			t.Fatalf("criterion %v (%v) beats reported winner %v (%v)",
 				c, scores[c], winner, scores[winner])
 		}
+	}
+}
+
+// TestStepTimeoutDegrades covers the Config.StepTimeout contract: when
+// the deadline fires after the engine's first phase boundary (forced
+// deterministically by a PhaseHook that stalls phase 1 until the
+// deadline), the step succeeds with Degraded set, RecordsProcessed
+// reporting the scanned prefix, and the recommendation pass skipped.
+func TestStepTimeoutDegrades(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StepTimeout = 50 * time.Millisecond
+	cfg.Engine.MinPhaseRecords = 1
+	cfg.Engine.PhaseHook = func(ctx context.Context, phase int) {
+		if phase > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(10 * time.Second):
+				// Unreachable under a working deadline; bounds the test.
+			}
+		}
+	}
+	ex, err := NewExplorer(coreDB(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(ex, RecommendationPowered, query.Description{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Step()
+	if err != nil {
+		t.Fatalf("deadline past the first phase must degrade, not fail: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("step not marked degraded")
+	}
+	if res.RecordsProcessed <= 0 || res.RecordsProcessed >= res.GroupSize {
+		t.Errorf("RecordsProcessed = %d, want a strict prefix of %d",
+			res.RecordsProcessed, res.GroupSize)
+	}
+	if len(res.Recommendations) != 0 {
+		t.Error("recommendation pass must be skipped once the deadline passed")
+	}
+	if len(res.Maps) == 0 {
+		t.Error("degraded step must still display maps")
+	}
+}
+
+// TestStepNoTimeoutNotDegraded pins that unlimited-budget steps never
+// report degradation.
+func TestStepNoTimeoutNotDegraded(t *testing.T) {
+	ex := coreExplorer(t)
+	sess, err := NewSession(ex, UserDriven, query.Description{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Error("step without a deadline reported degraded")
+	}
+	if res.RecordsProcessed != res.GroupSize {
+		t.Errorf("RecordsProcessed = %d, want full scan of %d", res.RecordsProcessed, res.GroupSize)
 	}
 }

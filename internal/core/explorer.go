@@ -68,8 +68,16 @@ type StepResult struct {
 	// Observability: pruning counters and timings.
 	PrunedCI, PrunedMAB int
 	Considered          int
-	GenDuration         time.Duration
-	RecDuration         time.Duration
+	// Degraded reports anytime semantics: a step deadline (or request
+	// cancellation) cut the engine's scan short after a phase boundary, so
+	// Maps/Utilities rank candidates over the RecordsProcessed-record
+	// prefix of the group, and recommendations may have been skipped.
+	Degraded bool
+	// RecordsProcessed counts the group records the engine folded in
+	// before finalization (== GroupSize for a complete scan).
+	RecordsProcessed int
+	GenDuration      time.Duration
+	RecDuration      time.Duration
 	// RecOpDurations holds the sequential evaluation cost of each candidate
 	// operation, letting benches derive parallel schedules for any core
 	// count deterministically.
@@ -145,12 +153,14 @@ func (ex *Explorer) rmSetForGroup(ctx context.Context, group *query.RatingGroup,
 		utilOf[rm] = genRes.Utilities[i]
 	}
 	out := &StepResult{
-		Desc:       group.Desc,
-		GroupSize:  group.Len(),
-		Maps:       sel,
-		PrunedCI:   genRes.PrunedCI,
-		PrunedMAB:  genRes.PrunedMAB,
-		Considered: genRes.Considered,
+		Desc:             group.Desc,
+		GroupSize:        group.Len(),
+		Maps:             sel,
+		PrunedCI:         genRes.PrunedCI,
+		PrunedMAB:        genRes.PrunedMAB,
+		Considered:       genRes.Considered,
+		Degraded:         genRes.Degraded,
+		RecordsProcessed: genRes.RecordsProcessed,
 		// Diversity is reported with pure EMD — a property of the data
 		// shown — even when selection used an augmented distance.
 		SetDiversity: diversity.SetDiversity(sel, diversity.EMD),

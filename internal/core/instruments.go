@@ -17,6 +17,9 @@ type Instruments struct {
 	SessionsStarted *obs.Counter
 	// StepsTotal counts executed exploration steps (subdex_steps_total).
 	StepsTotal *obs.Counter
+	// StepsDegraded counts steps that returned anytime (deadline-degraded)
+	// results (subdex_steps_degraded_total).
+	StepsDegraded *obs.Counter
 	// StepLatency is the end-to-end per-step histogram in seconds —
 	// the paper's §6 interactive-speed signal
 	// (subdex_step_duration_seconds).
@@ -44,6 +47,8 @@ func NewInstruments(r *obs.Registry) *Instruments {
 			"Exploration sessions created."),
 		StepsTotal: r.Counter("subdex_steps_total",
 			"Exploration steps executed."),
+		StepsDegraded: r.Counter("subdex_steps_degraded_total",
+			"Exploration steps degraded to anytime results by a deadline."),
 		StepLatency: r.Histogram("subdex_step_duration_seconds",
 			"End-to-end duration of one exploration step (generation + recommendations).", nil),
 		GenLatency: r.Histogram("subdex_generation_duration_seconds",
@@ -65,11 +70,14 @@ func (in *Instruments) sessionStarted() {
 	in.SessionsStarted.Inc()
 }
 
-func (in *Instruments) stepDone(total, gen, rec time.Duration, recCandidates int) {
+func (in *Instruments) stepDone(total, gen, rec time.Duration, recCandidates int, degraded bool) {
 	if in == nil {
 		return
 	}
 	in.StepsTotal.Inc()
+	if degraded {
+		in.StepsDegraded.Inc()
+	}
 	in.StepLatency.ObserveDuration(total)
 	in.GenLatency.ObserveDuration(gen)
 	if rec > 0 {

@@ -58,13 +58,26 @@ func (s *Session) Step() (*StepResult, error) {
 	return s.StepCtx(context.Background())
 }
 
-// StepCtx is Step with span propagation: under a context carrying an obs
-// sink (see obs.WithSink) the whole step is recorded as one "core.step"
-// span tree — rating-map generation, engine phases, and recommendation
-// scoring as children — and, when the explorer is instrumented, the
-// step/recommendation latency histograms and counters are updated.
+// StepCtx is Step with span propagation and a compute deadline: under a
+// context carrying an obs sink (see obs.WithSink) the whole step is
+// recorded as one "core.step" span tree — rating-map generation, engine
+// phases, and recommendation scoring as children — and, when the explorer
+// is instrumented, the step/recommendation latency histograms and
+// counters are updated.
+//
+// When Config.StepTimeout is set (> 0), the context is additionally
+// bounded by it. A deadline hitting after the engine's first phase
+// boundary degrades the step to an anytime result (StepResult.Degraded,
+// with RecordsProcessed reporting the scanned prefix) and skips the
+// recommendation pass; a deadline hitting before any phase completes
+// returns the context's error.
 func (s *Session) StepCtx(ctx context.Context) (*StepResult, error) {
 	start := time.Now()
+	if t := s.Ex.Cfg.StepTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
 	ctx, span := obs.StartSpan(ctx, "core.step")
 	span.SetAttr("selection", s.cur.String())
 	span.SetAttr("mode", s.Mode.String())
@@ -76,7 +89,15 @@ func (s *Session) StepCtx(ctx context.Context) (*StepResult, error) {
 	for _, rm := range res.Maps {
 		s.seen.Add(rm)
 	}
-	if s.Mode != UserDriven {
+	switch {
+	case s.Mode == UserDriven:
+		// No recommendations in user-driven mode.
+	case ctx.Err() != nil:
+		// The step budget is spent: recommendation building would start a
+		// fresh full-cost computation. Skip it and report degradation.
+		res.Degraded = true
+		span.SetAttr("recommendations_skipped", true)
+	default:
 		recStart := time.Now()
 		_, rspan := obs.StartSpan(ctx, "core.recommend")
 		recs, durs, err := s.rb.Recommend(s.cur, res.Maps, s.seen, s.Ex.Cfg.O)
@@ -91,8 +112,11 @@ func (s *Session) StepCtx(ctx context.Context) (*StepResult, error) {
 		rspan.SetAttr("recommended", len(recs))
 		rspan.End()
 	}
+	if res.Degraded {
+		span.SetAttr("degraded", true)
+	}
 	s.steps = append(s.steps, res)
-	s.Ex.Ins.stepDone(time.Since(start), res.GenDuration, res.RecDuration, len(res.RecOpDurations))
+	s.Ex.Ins.stepDone(time.Since(start), res.GenDuration, res.RecDuration, len(res.RecOpDurations), res.Degraded)
 	return res, nil
 }
 

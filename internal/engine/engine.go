@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"subdex/internal/bandit"
@@ -70,6 +71,13 @@ type Config struct {
 	// MinPhaseRecords skips phased execution for groups smaller than this:
 	// pruning overhead would exceed the scan cost.
 	MinPhaseRecords int
+	// PhaseHook, when non-nil, runs at the start of every phase (and once,
+	// with phase 0, before the single-pass scan of the unphased path) with
+	// the TopMaps context and the phase index. It is a test-only
+	// fault-injection seam: tests use it to force slow or cancelled phases
+	// deterministically instead of sleeping on wall-clock data sizes.
+	// Production configs leave it nil.
+	PhaseHook func(ctx context.Context, phase int)
 }
 
 // DefaultConfig returns the paper's defaults (n=10 phases, both pruning
@@ -95,6 +103,17 @@ type Result struct {
 	PrunedMAB int
 	// Considered is the initial candidate count.
 	Considered int
+	// Degraded reports anytime semantics: the scan (or the final scoring
+	// pass) was cut short by context cancellation after at least one phase
+	// boundary, so Maps ranks candidates over the RecordsProcessed-record
+	// prefix only. Every phase boundary is a consistent prefix of the
+	// group's records, so a degraded result is still a valid
+	// Hoeffding-Serfling estimate — just a wider-interval one.
+	Degraded bool
+	// RecordsProcessed counts the group records folded into the
+	// accumulator before finalization (== len(group.Records) for a
+	// complete scan).
+	RecordsProcessed int
 }
 
 // Generator produces top-utility rating maps for rating groups of one
@@ -136,12 +155,20 @@ func (g *Generator) TopMaps(group *query.RatingGroup, candidates []ratingmap.Key
 	return g.TopMapsCtx(context.Background(), group, candidates, seen, kPrime, cfg)
 }
 
-// TopMapsCtx is TopMaps with span propagation: under a context carrying
-// an obs sink it emits an "engine.topmaps" span with one "engine.phase"
-// child per executed phase, and — when Generator.Metrics is installed —
-// records the hot-path counters and histograms. Both instruments are
-// no-ops when absent; the context is not consulted for cancellation (a
-// TopMaps call is one interactive step and runs to completion).
+// TopMapsCtx is TopMaps with span propagation and cooperative
+// cancellation. Under a context carrying an obs sink it emits an
+// "engine.topmaps" span with one "engine.phase" child per executed phase,
+// and — when Generator.Metrics is installed — records the hot-path
+// counters and histograms. Both instruments are no-ops when absent.
+//
+// The context is consulted at every phase boundary and inside the
+// estimate/finalize worker chunk loops. Cancellation before the first
+// phase completes returns ctx.Err(). Cancellation after that degrades
+// instead of failing: the scan stops at the last completed phase boundary
+// and the survivors are finalized over the records processed so far —
+// Algorithm 1 is an anytime algorithm, every phase boundary is a
+// consistent record prefix — yielding a Result with Degraded set and
+// RecordsProcessed reporting the prefix length.
 func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, candidates []ratingmap.Key,
 	seen *ratingmap.SeenSet, kPrime int, cfg Config) (*Result, error) {
 	if kPrime <= 0 {
@@ -162,6 +189,10 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		g.Metrics.addPruned(res.PrunedCI, res.PrunedMAB)
 		g.Metrics.addFinalized(len(res.Maps))
 		g.Metrics.observeTopMaps(time.Since(start))
+		if res.Degraded {
+			g.Metrics.addDegraded()
+			span.SetAttr("degraded", true)
+		}
 		span.SetAttr("pruned_ci", res.PrunedCI)
 		span.SetAttr("pruned_mab", res.PrunedMAB)
 		span.SetAttr("maps", len(res.Maps))
@@ -179,8 +210,15 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 	span.SetAttr("phased", usePhases)
 
 	if !usePhases {
+		if cfg.PhaseHook != nil {
+			cfg.PhaseHook(ctx, 0)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err // nothing processed yet: fail, don't degrade
+		}
 		acc.Update(group.Records)
-		g.finalize(acc, seen, kPrime, cfg, res)
+		res.RecordsProcessed = n
+		g.finalize(ctx, acc, seen, kPrime, cfg, res)
 		return res, nil
 	}
 
@@ -209,6 +247,19 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		if lo >= hi {
 			continue
 		}
+		if cfg.PhaseHook != nil {
+			cfg.PhaseHook(ctx, phase)
+		}
+		// Anytime degradation: a deadline hitting at a phase boundary stops
+		// the scan and finalizes the consistent prefix accumulated so far.
+		// Before the first phase there is no prefix — fail outright.
+		if err := ctx.Err(); err != nil {
+			if processed == 0 {
+				return nil, err
+			}
+			res.Degraded = true
+			break
+		}
 		phaseStart := time.Now()
 		_, pspan := obs.StartSpan(ctx, "engine.phase")
 		pspan.SetAttr("phase", phase)
@@ -227,7 +278,15 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 			break // nothing to prune after the last fraction; finalize below
 		}
 
-		est := g.estimate(acc, alive, seen, cfg, processed, n)
+		est, aborted := g.estimate(ctx, acc, alive, seen, cfg, processed, n)
+		if aborted {
+			// Cancelled mid-estimate: the phase's records are accumulated (a
+			// consistent prefix), the estimates are not — skip pruning and
+			// degrade to finalizing the prefix.
+			res.Degraded = true
+			endPhase()
+			break
+		}
 
 		if cfg.Pruning == PruneCI || cfg.Pruning == PruneBoth {
 			pruned := ciPrune(est, processed, n, kPrime, cfg.Delta, sar)
@@ -270,12 +329,18 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 			}
 		}
 		if len(alive) <= kPrime {
-			// Survivors all fit in the answer; stop pruning, finish the scan.
+			// Survivors all fit in the answer; stop pruning, finish the scan
+			// (still honoring the deadline at each phase-sized stride).
 			for p := phase + 1; p < cfg.Phases; p++ {
+				if ctx.Err() != nil {
+					res.Degraded = true
+					break
+				}
 				lo := p * n / cfg.Phases
 				hi := (p + 1) * n / cfg.Phases
 				if lo < hi {
 					acc.Update(group.Records[lo:hi])
+					processed = hi
 				}
 			}
 			endPhase()
@@ -283,7 +348,16 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		}
 		endPhase()
 	}
-	g.finalize(acc, seen, kPrime, cfg, res)
+	res.RecordsProcessed = processed
+	// Finalize over whatever prefix was accumulated. A degraded run
+	// finalizes under a detached context: the final scoring pass is cheap
+	// (it reads accumulated statistics, not records) and must complete for
+	// the anytime result to be usable.
+	fctx := ctx
+	if res.Degraded {
+		fctx = context.WithoutCancel(ctx)
+	}
+	g.finalize(fctx, acc, seen, kPrime, cfg, res)
 	return res, nil
 }
 
@@ -300,8 +374,11 @@ type estimateEntry struct {
 // estimate snapshots the alive candidates and computes bounded criterion
 // estimates in parallel (the "parallel query execution" sharing
 // optimization: up to cfg.Workers candidates are scored simultaneously).
-func (g *Generator) estimate(acc *ratingmap.Accumulator, alive map[int]ratingmap.Key,
-	seen *ratingmap.SeenSet, cfg ratingmapConfigCarrier, processed, total int) map[int]estimateEntry {
+// The workers consult ctx between candidates; on cancellation the whole
+// estimate is abandoned (aborted = true) — partial estimates must never
+// feed pruning decisions.
+func (g *Generator) estimate(ctx context.Context, acc *ratingmap.Accumulator, alive map[int]ratingmap.Key,
+	seen *ratingmap.SeenSet, cfg ratingmapConfigCarrier, processed, total int) (est map[int]estimateEntry, aborted bool) {
 	recordScale := 1.0
 	if processed > 0 {
 		recordScale = float64(total) / float64(processed)
@@ -318,6 +395,7 @@ func (g *Generator) estimate(acc *ratingmap.Accumulator, alive map[int]ratingmap
 	}
 	poolStart := time.Now()
 	busy := make([]time.Duration, workers)
+	var abort atomic.Bool
 	var wg sync.WaitGroup
 	chunk := (len(idxs) + workers - 1) / workers
 	for w := 0; w < workers && w*chunk < len(idxs); w++ {
@@ -331,6 +409,10 @@ func (g *Generator) estimate(acc *ratingmap.Accumulator, alive map[int]ratingmap
 			t0 := time.Now()
 			defer func() { busy[w] = time.Since(t0) }()
 			for p := lo; p < hi; p++ {
+				if ctx.Err() != nil {
+					abort.Store(true)
+					return
+				}
 				idx := idxs[p]
 				key := alive[idx]
 				scores, _ := acc.CriteriaEstimateOpt(key, seen, recordScale, cfg.utility().Peculiarity)
@@ -354,11 +436,14 @@ func (g *Generator) estimate(acc *ratingmap.Accumulator, alive map[int]ratingmap
 		totalBusy += b
 	}
 	g.Metrics.observeUtilization(totalBusy, time.Since(poolStart), workers)
+	if abort.Load() {
+		return nil, true
+	}
 	m := make(map[int]estimateEntry, len(out))
 	for _, e := range out {
 		m[e.idx] = e
 	}
-	return m
+	return m, false
 }
 
 // ratingmapConfigCarrier lets estimate share Config without an import cycle
@@ -433,15 +518,31 @@ func min(a, b int) int {
 	return b
 }
 
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
 // finalize scores all remaining candidates on their full accumulated data
 // using the allocation-light estimator, ranks them, and materializes only
 // the top kPrime as rating maps. With normalization enabled in the utility
 // config, criterion columns are min-max normalized across the survivors
 // before aggregation, per Somech et al. [51].
-func (g *Generator) finalize(acc *ratingmap.Accumulator, seen *ratingmap.SeenSet,
+//
+// The workers consult ctx between candidates: if the context dies
+// mid-finalize, unscored candidates are dropped from the ranking and the
+// result is marked Degraded (callers that already degraded pass a
+// detached context so the anytime result is always fully scored).
+func (g *Generator) finalize(ctx context.Context, acc *ratingmap.Accumulator, seen *ratingmap.SeenSet,
 	kPrime int, cfg Config, res *Result) {
 	keys := acc.Keys()
 	scores := make([]ratingmap.Scores, len(keys))
+	scored := make([]bool, len(keys))
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -460,7 +561,11 @@ func (g *Generator) finalize(acc *ratingmap.Accumulator, seen *ratingmap.SeenSet
 			defer wg.Done()
 			t0 := time.Now()
 			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					break
+				}
 				scores[i], _ = acc.CriteriaEstimateOpt(keys[i], seen, 1, cfg.Utility.Peculiarity)
+				scored[i] = true
 			}
 			busy[w] = time.Since(t0)
 		}(w, lo, hi)
@@ -471,6 +576,21 @@ func (g *Generator) finalize(acc *ratingmap.Accumulator, seen *ratingmap.SeenSet
 		totalBusy += b
 	}
 	g.Metrics.observeUtilization(totalBusy, time.Since(poolStart), workers)
+
+	// Drop candidates the cancelled scoring pass never reached; ranking a
+	// zero-valued score would be wrong, excluding it is merely incomplete.
+	if nScored := countTrue(scored); nScored < len(keys) {
+		res.Degraded = true
+		ck := make([]ratingmap.Key, 0, nScored)
+		cs := make([]ratingmap.Scores, 0, nScored)
+		for i, ok := range scored {
+			if ok {
+				ck = append(ck, keys[i])
+				cs = append(cs, scores[i])
+			}
+		}
+		keys, scores = ck, cs
+	}
 
 	if cfg.Utility.Normalize && len(keys) > 1 {
 		col := make([]float64, len(keys))

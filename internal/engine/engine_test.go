@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"subdex/internal/bandit"
@@ -260,6 +262,102 @@ func TestPhasedCoversAllRecords(t *testing.T) {
 		if rm.TotalRecords != ref.TotalRecords {
 			t.Fatalf("key %v: phased total %d vs exact %d", rm.Key, rm.TotalRecords, ref.TotalRecords)
 		}
+	}
+}
+
+// TestTopMapsDegradedAtPhaseBoundaries cancels the context at successive
+// phase boundaries (via the PhaseHook fault-injection seam) and asserts
+// the anytime contract: no error, Degraded set, RecordsProcessed equal to
+// the exact record prefix of the completed phases, and a usable ranked
+// result finalized over that prefix.
+func TestTopMapsDegradedAtPhaseBoundaries(t *testing.T) {
+	db := engineDB(t)
+	g := NewGenerator(db)
+	qe, group := rootGroup(t, db)
+	cands := g.Candidates(qe, query.Description{})
+	n := len(group.Records)
+
+	for _, cancelAt := range []int{1, 2, 3, 5} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cfg := DefaultConfig()
+		cfg.Pruning = PruneCI // CI-only: no bandit early-exit below the boundary under test
+		cfg.MinPhaseRecords = 100
+		cfg.PhaseHook = func(_ context.Context, phase int) {
+			if phase == cancelAt {
+				cancel()
+			}
+		}
+		res, err := g.TopMapsCtx(ctx, group, cands, ratingmap.NewSeenSet(), 9, cfg)
+		cancel()
+		if err != nil {
+			t.Fatalf("cancel at phase %d: %v", cancelAt, err)
+		}
+		if !res.Degraded {
+			t.Errorf("cancel at phase %d: result not marked degraded", cancelAt)
+		}
+		want := cancelAt * n / cfg.Phases
+		if res.RecordsProcessed != want {
+			t.Errorf("cancel at phase %d: RecordsProcessed = %d, want %d",
+				cancelAt, res.RecordsProcessed, want)
+		}
+		if len(res.Maps) == 0 || len(res.Maps) > 9 {
+			t.Errorf("cancel at phase %d: got %d maps, want 1..9", cancelAt, len(res.Maps))
+		}
+		for i := 1; i < len(res.Utilities); i++ {
+			if res.Utilities[i] > res.Utilities[i-1]+1e-12 {
+				t.Errorf("cancel at phase %d: degraded utilities not descending", cancelAt)
+			}
+		}
+	}
+}
+
+// TestTopMapsCancelledBeforeFirstPhase asserts the failure half of the
+// contract: cancellation before any phase boundary returns ctx.Err() on
+// both the phased and the single-pass path.
+func TestTopMapsCancelledBeforeFirstPhase(t *testing.T) {
+	db := engineDB(t)
+	g := NewGenerator(db)
+	qe, group := rootGroup(t, db)
+	cands := g.Candidates(qe, query.Description{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	phased := DefaultConfig()
+	phased.MinPhaseRecords = 100
+	if _, err := g.TopMapsCtx(ctx, group, cands, ratingmap.NewSeenSet(), 9, phased); !errors.Is(err, context.Canceled) {
+		t.Fatalf("phased: err = %v, want context.Canceled", err)
+	}
+
+	single := DefaultConfig()
+	single.Pruning = PruneNone // forces the single-pass path
+	if _, err := g.TopMapsCtx(ctx, group, cands, ratingmap.NewSeenSet(), 9, single); !errors.Is(err, context.Canceled) {
+		t.Fatalf("single-pass: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTopMapsCompleteScanNotDegraded pins the no-deadline behaviour: a
+// run under a live context reports a full scan and no degradation.
+func TestTopMapsCompleteScanNotDegraded(t *testing.T) {
+	db := engineDB(t)
+	g := NewGenerator(db)
+	qe, group := rootGroup(t, db)
+	cands := g.Candidates(qe, query.Description{})
+	cfg := DefaultConfig()
+	cfg.MinPhaseRecords = 100
+	hooked := 0
+	cfg.PhaseHook = func(context.Context, int) { hooked++ }
+	res, err := g.TopMapsCtx(context.Background(), group, cands, ratingmap.NewSeenSet(), 9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Error("complete scan marked degraded")
+	}
+	if res.RecordsProcessed != len(group.Records) {
+		t.Errorf("RecordsProcessed = %d, want %d", res.RecordsProcessed, len(group.Records))
+	}
+	if hooked == 0 {
+		t.Error("phase hook never invoked")
 	}
 }
 

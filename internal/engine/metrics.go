@@ -21,6 +21,10 @@ type Metrics struct {
 	// Finalized counts rating maps materialized into results
 	// (subdex_engine_maps_finalized_total).
 	Finalized *obs.Counter
+	// Degraded counts TopMaps calls that returned anytime (prefix-scan)
+	// results after a deadline or cancellation
+	// (subdex_engine_topmaps_degraded_total).
+	Degraded *obs.Counter
 	// TopMapsLatency is the per-TopMaps wall-clock histogram in seconds
 	// (subdex_engine_topmaps_duration_seconds).
 	TopMapsLatency *obs.Histogram
@@ -51,6 +55,8 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			obs.L("strategy", "mab")),
 		Finalized: r.Counter("subdex_engine_maps_finalized_total",
 			"Rating maps materialized into TopMaps results."),
+		Degraded: r.Counter("subdex_engine_topmaps_degraded_total",
+			"TopMaps calls degraded to anytime prefix results by deadline or cancellation."),
 		TopMapsLatency: r.Histogram("subdex_engine_topmaps_duration_seconds",
 			"Wall-clock duration of one TopMaps call.", nil),
 		PhaseLatency: r.Histogram("subdex_engine_phase_duration_seconds",
@@ -83,6 +89,13 @@ func (m *Metrics) addFinalized(n int) {
 		return
 	}
 	m.Finalized.Add(int64(n))
+}
+
+func (m *Metrics) addDegraded() {
+	if m == nil {
+		return
+	}
+	m.Degraded.Inc()
 }
 
 func (m *Metrics) observeTopMaps(d time.Duration) {

@@ -22,7 +22,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -40,42 +42,172 @@ import (
 // spanRingSize bounds the /debug/spans buffer.
 const spanRingSize = 64
 
+// maxBodyBytes caps JSON request bodies; larger bodies answer 413.
+const maxBodyBytes = 64 << 10
+
+// Options configure the server's admission-control and session-lifecycle
+// layer. The zero value disables all limits (the library-embedding
+// default); subdexd wires its flags here.
+type Options struct {
+	// MaxSessions caps concurrently live sessions; 0 = unlimited. A POST
+	// /sessions on a full server answers 429 with a Retry-After header.
+	MaxSessions int
+	// SessionTTL evicts sessions idle (no request touching them) for
+	// longer than this; 0 disables eviction. Evictions decrement
+	// subdex_sessions_in_flight and bump subdex_sessions_evicted_total.
+	SessionTTL time.Duration
+	// JanitorInterval overrides the eviction sweep cadence. 0 picks
+	// SessionTTL/4 clamped to [1s, 1min]. Mostly useful in tests.
+	JanitorInterval time.Duration
+	// Clock overrides time.Now for the idle-TTL bookkeeping (tests).
+	Clock func() time.Time
+}
+
+// sessionEntry wraps one live session with its own lock: all computation
+// on a session (step, apply, summary, vega) serializes on entry.mu, so a
+// slow step on one session never blocks the rest of the server. The
+// server's global mu guards only the sessions map and lastUsed.
+type sessionEntry struct {
+	mu   sync.Mutex // serializes computation on this session
+	sess *core.Session
+	// lastUsed is guarded by Server.mu (not entry.mu): the janitor reads
+	// it while deciding evictions without taking the compute lock.
+	lastUsed time.Time
+}
+
 // Server owns an explorer, its live sessions, and the observability
 // surface (metrics registry + recent-span ring).
 type Server struct {
 	ex    *core.Explorer
 	reg   *obs.Registry
 	spans *obs.RingSink
+	opts  Options
+	now   func() time.Time
 
-	httpInFlight *obs.Gauge
-	sessionsLive *obs.Gauge
+	httpInFlight      *obs.Gauge
+	sessionsLive      *obs.Gauge
+	sessionsEvicted   *obs.Counter
+	admissionRejected *obs.Counter
+	busyRejected      *obs.Counter
+	stepTimeouts      *obs.Counter
 
 	mu       sync.Mutex
-	sessions map[int]*core.Session
+	sessions map[int]*sessionEntry
 	nextID   int
+
+	stopOnce sync.Once
+	stop     chan struct{}
 }
 
-// New builds a server over a frozen database. The server owns a metrics
-// registry (exposed at /metrics and via Registry) and instruments the
-// explorer with it.
+// New builds a server over a frozen database with no admission limits.
+// The server owns a metrics registry (exposed at /metrics and via
+// Registry) and instruments the explorer with it.
 func New(db *dataset.DB, cfg core.Config) (*Server, error) {
+	return NewWithOptions(db, cfg, Options{})
+}
+
+// NewWithOptions is New with the admission-control and session-lifecycle
+// knobs. When opts.SessionTTL > 0 a janitor goroutine sweeps idle
+// sessions; stop it with Close.
+func NewWithOptions(db *dataset.DB, cfg core.Config, opts Options) (*Server, error) {
 	ex, err := core.NewExplorer(db, cfg)
 	if err != nil {
 		return nil, err
 	}
 	reg := obs.NewRegistry()
 	ex.Instrument(reg)
-	return &Server{
+	now := opts.Clock
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{
 		ex:    ex,
 		reg:   reg,
 		spans: obs.NewRingSink(spanRingSize),
+		opts:  opts,
+		now:   now,
 		httpInFlight: reg.Gauge("subdex_http_in_flight_requests",
 			"HTTP requests currently being served."),
 		sessionsLive: reg.Gauge("subdex_sessions_in_flight",
 			"Exploration sessions currently held by the server."),
-		sessions: make(map[int]*core.Session),
+		sessionsEvicted: reg.Counter("subdex_sessions_evicted_total",
+			"Idle sessions evicted by the TTL janitor."),
+		admissionRejected: reg.Counter("subdex_admission_rejected_total",
+			"Session creations rejected by the max-sessions admission cap."),
+		busyRejected: reg.Counter("subdex_session_busy_rejections_total",
+			"Step/apply requests rejected because the session was mid-computation."),
+		stepTimeouts: reg.Counter("subdex_step_timeouts_total",
+			"Steps aborted by their deadline before any phase boundary (504s)."),
+		sessions: make(map[int]*sessionEntry),
 		nextID:   1,
-	}, nil
+		stop:     make(chan struct{}),
+	}
+	if opts.SessionTTL > 0 {
+		go s.janitor()
+	}
+	return s, nil
+}
+
+// Close stops the TTL janitor (if any). It does not tear down live
+// sessions; the process owns their lifetime from here.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// janitor periodically evicts idle sessions until Close.
+func (s *Server) janitor() {
+	iv := s.opts.JanitorInterval
+	if iv <= 0 {
+		iv = s.opts.SessionTTL / 4
+		if iv < time.Second {
+			iv = time.Second
+		}
+		if iv > time.Minute {
+			iv = time.Minute
+		}
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.EvictIdle()
+		}
+	}
+}
+
+// EvictIdle removes every session idle for longer than the configured
+// SessionTTL and returns how many were evicted. Sessions mid-computation
+// (entry lock held) are skipped — they are in use by definition. The
+// janitor calls this on its interval; tests call it directly with a fake
+// clock.
+func (s *Server) EvictIdle() int {
+	ttl := s.opts.SessionTTL
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := s.now().Add(-ttl)
+	evicted := 0
+	s.mu.Lock()
+	for id, e := range s.sessions {
+		if e.lastUsed.After(cutoff) {
+			continue
+		}
+		if !e.mu.TryLock() {
+			continue // a request is computing on it right now
+		}
+		delete(s.sessions, id)
+		e.mu.Unlock()
+		evicted++
+	}
+	s.mu.Unlock()
+	for i := 0; i < evicted; i++ {
+		s.sessionsLive.Dec()
+		s.sessionsEvicted.Inc()
+	}
+	return evicted
 }
 
 // Registry exposes the server's metrics registry, e.g. for registering
@@ -180,8 +312,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req createSessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	var mode core.Mode
@@ -205,25 +336,56 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 		start = d
 	}
+	// Admission control, session creation, map insert and the live-session
+	// gauge share one critical section: the cap can never be overshot by
+	// concurrent creates, and the gauge can never transiently disagree
+	// with the map.
+	s.mu.Lock()
+	if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		s.admissionRejected.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opts.SessionTTL))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session limit reached (%d); retry later or delete a session", s.opts.MaxSessions))
+		return
+	}
 	sess, err := core.NewSession(s.ex, mode, start)
 	if err != nil {
+		s.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
 	id := s.nextID
 	s.nextID++
-	s.sessions[id] = sess
-	s.mu.Unlock()
+	s.sessions[id] = &sessionEntry{sess: sess, lastUsed: s.now()}
 	s.sessionsLive.Inc()
+	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "mode": mode.String()})
 }
 
-func (s *Server) session(id int) (*core.Session, bool) {
+// retryAfterSeconds derives a Retry-After hint from the idle TTL: with a
+// janitor configured, capacity frees up within a sweep or two; without
+// one, only explicit deletes free capacity, so suggest a short poll.
+func retryAfterSeconds(ttl time.Duration) string {
+	if ttl <= 0 {
+		return "1"
+	}
+	secs := int(ttl / (4 * time.Second))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// entry looks up a live session and refreshes its idle timestamp.
+func (s *Server) entry(id int) (*sessionEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
-	return sess, ok
+	e, ok := s.sessions[id]
+	if ok {
+		e.lastUsed = s.now()
+	}
+	return e, ok
 }
 
 // handleDelete removes a session and decrements the in-flight gauge.
@@ -252,7 +414,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad session id")
 		return
 	}
-	sess, ok := s.session(id)
+	e, ok := s.entry(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
@@ -269,13 +431,16 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	case action == "" && r.Method == http.MethodDelete:
 		s.handleDelete(w, id)
 	case action == "step" && r.Method == http.MethodGet:
-		s.handleStep(w, r, sess)
+		s.handleStep(w, r, e)
 	case action == "apply" && r.Method == http.MethodPost:
-		s.handleApply(w, r, sess)
+		s.handleApply(w, r, e)
 	case action == "summary" && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, summaryJSON(sess.Summarize()))
+		e.mu.Lock()
+		sum := e.sess.Summarize()
+		e.mu.Unlock()
+		writeJSON(w, http.StatusOK, summaryJSON(sum))
 	case action == "maps" && len(parts) == 4 && parts[3] == "vega" && r.Method == http.MethodGet:
-		s.handleVega(w, sess, parts[2])
+		s.handleVega(w, e, parts[2])
 	default:
 		if method, known := allowed[action]; known && r.Method != method {
 			w.Header().Set("Allow", method)
@@ -287,16 +452,17 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleVega serves the Vega-Lite specification of one displayed map of the
-// session's latest step (1-based index).
-func (s *Server) handleVega(w http.ResponseWriter, sess *core.Session, idx string) {
+// session's latest step (1-based index). It takes the session's own lock
+// (never the server-global one), so it waits only for work on this session.
+func (s *Server) handleVega(w http.ResponseWriter, e *sessionEntry, idx string) {
 	n, err := strconv.Atoi(idx)
 	if err != nil || n < 1 {
 		writeError(w, http.StatusBadRequest, "bad map index")
 		return
 	}
-	s.mu.Lock()
-	steps := sess.Steps()
-	s.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	steps := e.sess.Steps()
 	if len(steps) == 0 {
 		writeError(w, http.StatusConflict, "no step executed yet")
 		return
@@ -317,44 +483,70 @@ func (s *Server) handleVega(w http.ResponseWriter, sess *core.Session, idx strin
 	_, _ = w.Write(spec)
 }
 
-func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, sess *core.Session) {
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, e *sessionEntry) {
 	// One session is single-threaded: the paper's UI issues one step at a
-	// time; serialize defensively. The request context carries the span
-	// sink installed by the middleware, so the step's span tree hangs off
-	// the HTTP request's root span.
-	s.mu.Lock()
-	step, err := sess.StepCtx(r.Context())
-	s.mu.Unlock()
+	// time. A second concurrent step/apply on the same session is a
+	// client bug — reject it immediately with 409 instead of queueing
+	// compute. The per-session lock means a slow step here never blocks
+	// other sessions or /healthz. The request context carries the span
+	// sink installed by the middleware (so the step's span tree hangs off
+	// the HTTP root span) and the request's cancellation, which the
+	// engine honors at phase boundaries.
+	if !e.mu.TryLock() {
+		s.busyRejected.Inc()
+		writeError(w, http.StatusConflict, "session busy: a step or apply is already in flight")
+		return
+	}
+	defer e.mu.Unlock()
+	step, err := e.sess.StepCtx(r.Context())
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The deadline fired before the engine completed a single
+			// phase: there is no prefix to degrade to.
+			s.stepTimeouts.Inc()
+			writeError(w, http.StatusGatewayTimeout,
+				"step deadline exceeded before any phase boundary; retry or raise -step-timeout")
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.stepJSON(sess, step))
+	writeJSON(w, http.StatusOK, s.stepJSON(e.sess, step))
 }
 
 // applyRequest moves a session: exactly one of the fields is used.
+// Recommendation is a pointer so an explicit {"recommendation": 0} is
+// distinguishable from an absent field and gets a targeted error.
 type applyRequest struct {
 	Predicate      string `json:"predicate,omitempty"`
-	Recommendation int    `json:"recommendation,omitempty"` // 1-based
+	Recommendation *int   `json:"recommendation,omitempty"` // 1-based
 	Back           bool   `json:"back,omitempty"`
 }
 
-func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, sess *core.Session) {
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, e *sessionEntry) {
 	var req applyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !e.mu.TryLock() {
+		s.busyRejected.Inc()
+		writeError(w, http.StatusConflict, "session busy: a step or apply is already in flight")
+		return
+	}
+	defer e.mu.Unlock()
+	sess := e.sess
 	switch {
 	case req.Back:
 		if !sess.Back() {
 			writeError(w, http.StatusConflict, "history empty")
 			return
 		}
-	case req.Recommendation > 0:
-		if err := sess.ApplyRecommendation(req.Recommendation - 1); err != nil {
+	case req.Recommendation != nil:
+		if *req.Recommendation < 1 {
+			writeError(w, http.StatusBadRequest, "recommendation must be ≥ 1 (1-based index)")
+			return
+		}
+		if err := sess.ApplyRecommendation(*req.Recommendation - 1); err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -375,6 +567,32 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, sess *core.
 	writeJSON(w, http.StatusOK, map[string]string{"selection": sess.Current().String()})
 }
 
+// decodeJSON reads a JSON body with the hardening defaults: a 64 KiB
+// size cap (413 on breach) and unknown-field rejection (a targeted 400).
+// It reports whether decoding succeeded; on failure the response has
+// been written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var maxErr *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxErr):
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+	case strings.HasPrefix(err.Error(), "json: unknown field"):
+		writeError(w, http.StatusBadRequest,
+			"unknown field "+strings.TrimPrefix(err.Error(), "json: unknown field "))
+	default:
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	}
+	return false
+}
+
 // JSON shapes ------------------------------------------------------------
 
 // StepJSON is the display payload of one exploration step.
@@ -387,6 +605,12 @@ type StepJSON struct {
 	Recommendations []RecommendationJSON `json:"recommendations,omitempty"`
 	GenMillis       float64              `json:"generation_ms"`
 	RecMillis       float64              `json:"recommendation_ms"`
+	// Degraded marks an anytime result: the step deadline cut the scan
+	// short after a phase boundary, so the maps rank candidates over the
+	// first RecordsProcessed records of the group (and recommendations
+	// may be missing). Clients should render it as a best-effort answer.
+	Degraded         bool `json:"degraded"`
+	RecordsProcessed int  `json:"records_processed,omitempty"`
 }
 
 // MapJSON is one rating map.
@@ -416,12 +640,14 @@ type RecommendationJSON struct {
 
 func (s *Server) stepJSON(sess *core.Session, step *core.StepResult) StepJSON {
 	out := StepJSON{
-		Selection: step.Desc.String(),
-		GroupSize: step.GroupSize,
-		Reviewers: step.NumMatched.Reviewers,
-		Items:     step.NumMatched.Items,
-		GenMillis: float64(step.GenDuration.Microseconds()) / 1000,
-		RecMillis: float64(step.RecDuration.Microseconds()) / 1000,
+		Selection:        step.Desc.String(),
+		GroupSize:        step.GroupSize,
+		Reviewers:        step.NumMatched.Reviewers,
+		Items:            step.NumMatched.Items,
+		GenMillis:        float64(step.GenDuration.Microseconds()) / 1000,
+		RecMillis:        float64(step.RecDuration.Microseconds()) / 1000,
+		Degraded:         step.Degraded,
+		RecordsProcessed: step.RecordsProcessed,
 	}
 	for i, rm := range step.Maps {
 		out.Maps = append(out.Maps, s.mapJSON(sess, rm, step.Utilities[i]))

@@ -48,6 +48,11 @@ type Event struct {
 	Considered int `json:"considered,omitempty"`
 	PrunedCI   int `json:"pruned_ci,omitempty"`
 	PrunedMAB  int `json:"pruned_mab,omitempty"`
+	// Degraded marks a step that was cut short by its compute deadline and
+	// returned anytime results over a RecordsProcessed-record prefix of
+	// the group (version-1 compatible: absent means a complete scan).
+	Degraded         bool `json:"degraded,omitempty"`
+	RecordsProcessed int  `json:"records_processed,omitempty"`
 }
 
 // Trace is an ordered session log.
@@ -75,6 +80,8 @@ func FromSession(sess *core.Session) *Trace {
 			Considered:       st.Considered,
 			PrunedCI:         st.PrunedCI,
 			PrunedMAB:        st.PrunedMAB,
+			Degraded:         st.Degraded,
+			RecordsProcessed: st.RecordsProcessed,
 		}
 		for j, rm := range st.Maps {
 			ev.Maps = append(ev.Maps, fmt.Sprintf("%s.%s/%s", rm.Side, rm.Attr, rm.DimName))

@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"subdex/internal/core"
 	"subdex/internal/gen"
@@ -216,5 +218,48 @@ func TestSeedScorer(t *testing.T) {
 	}
 	if boosted <= base {
 		t.Fatalf("seeded scorer must boost logged attributes: %v vs %v", boosted, base)
+	}
+}
+
+// TestEventDegradedRoundTrip checks that deadline-degraded steps persist
+// their anytime markers through FromSession and the JSONL round trip.
+func TestEventDegradedRoundTrip(t *testing.T) {
+	db, err := gen.Yelp(gen.Config{Seed: 6, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.StepTimeout = 50 * time.Millisecond
+	cfg.Engine.MinPhaseRecords = 1
+	cfg.Engine.PhaseHook = func(ctx context.Context, phase int) {
+		if phase > 0 {
+			<-ctx.Done()
+		}
+	}
+	ex, err := core.NewExplorer(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(ex, core.UserDriven, query.Description{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(); err != nil {
+		t.Fatal(err)
+	}
+	tr := FromSession(sess)
+	if len(tr.Events) != 1 || !tr.Events[0].Degraded || tr.Events[0].RecordsProcessed <= 0 {
+		t.Fatalf("degradation not persisted: %+v", tr.Events)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Events[0].Degraded || back.Events[0].RecordsProcessed != tr.Events[0].RecordsProcessed {
+		t.Fatalf("degradation lost in round trip: %+v", back.Events[0])
 	}
 }
