@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"subdex/internal/engine"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// assertStepsEqual checks the fields a user can observe: the displayed
+// maps (by full histogram digest), their utilities, the diversity
+// numbers, and the recommendation list.
+func assertStepsEqual(t *testing.T, idx int, a, b *StepResult) {
+	t.Helper()
+	if ratingmap.DigestMaps(a.Maps) != ratingmap.DigestMaps(b.Maps) {
+		t.Fatalf("step %d: displayed maps differ", idx)
+	}
+	if len(a.Utilities) != len(b.Utilities) {
+		t.Fatalf("step %d: utility count %d vs %d", idx, len(a.Utilities), len(b.Utilities))
+	}
+	for i := range a.Utilities {
+		if math.Abs(a.Utilities[i]-b.Utilities[i]) > 1e-12 {
+			t.Fatalf("step %d: utility[%d] %g vs %g", idx, i, a.Utilities[i], b.Utilities[i])
+		}
+	}
+	if a.SetDiversity != b.SetDiversity || a.AvgDiversity != b.AvgDiversity {
+		t.Fatalf("step %d: diversity (%g,%g) vs (%g,%g)", idx,
+			a.SetDiversity, a.AvgDiversity, b.SetDiversity, b.AvgDiversity)
+	}
+	if a.GroupSize != b.GroupSize {
+		t.Fatalf("step %d: group size %d vs %d", idx, a.GroupSize, b.GroupSize)
+	}
+	if len(a.Recommendations) != len(b.Recommendations) {
+		t.Fatalf("step %d: rec count %d vs %d", idx, len(a.Recommendations), len(b.Recommendations))
+	}
+	for i := range a.Recommendations {
+		ra, rb := a.Recommendations[i], b.Recommendations[i]
+		if !ra.Op.Target.Equal(rb.Op.Target) {
+			t.Fatalf("step %d: rec[%d] target %s vs %s", idx, i, ra.Op.Target, rb.Op.Target)
+		}
+		if math.Abs(ra.Utility-rb.Utility) > 1e-12 {
+			t.Fatalf("step %d: rec[%d] utility %g vs %g", idx, i, ra.Utility, rb.Utility)
+		}
+	}
+}
+
+// TestSessionCachedMatchesUncached runs the same exploration walk —
+// root, drill-down, Back to root (a revisit) — on two explorers that
+// differ only in the engine cache, and demands indistinguishable
+// StepResults. This is the harness clause "cached vs. uncached step
+// sequences return identical Results": the cache stores accumulators,
+// not finalized maps, so a hit re-finalizes against the session's
+// current seen set and can never leak stale utilities.
+func TestSessionCachedMatchesUncached(t *testing.T) {
+	db := coreDB(t)
+
+	cached := DefaultConfig()
+	cached.Engine.Workers = 4
+	uncached := cached
+	uncached.EngineCacheRecords = -1 // disabled
+
+	exC, err := NewExplorer(db, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exU, err := NewExplorer(db, uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exU.Gen.Cache != nil {
+		t.Fatal("negative EngineCacheRecords must disable the cache")
+	}
+
+	sC, err := NewSession(exC, RecommendationPowered, query.Description{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sU, err := NewSession(exU, RecommendationPowered, query.Description{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(idx int) *StepResult {
+		t.Helper()
+		rc, err := sC.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := sU.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertStepsEqual(t, idx, rc, ru)
+		return rc
+	}
+
+	first := step(0)
+	if len(first.Recommendations) == 0 {
+		t.Fatal("no recommendations at root")
+	}
+	// Drill into the top recommendation on both sessions.
+	if err := sC.ApplyRecommendation(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sU.Apply(first.Recommendations[0].Op); err != nil {
+		t.Fatal(err)
+	}
+	step(1)
+	// Back to the root: the cached session replays this selection (and
+	// every re-evaluated candidate operation) from the accumulator cache,
+	// but against a seen set two steps richer — results must still match
+	// the uncached recomputation exactly.
+	if !sC.Back() || !sU.Back() {
+		t.Fatal("Back failed")
+	}
+	step(2)
+
+	st := exC.EngineCacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("revisit produced no cache hits: %+v", st)
+	}
+	if exU.EngineCacheStats() != (engine.CacheStats{}) {
+		t.Fatalf("uncached explorer reported cache stats: %+v", exU.EngineCacheStats())
+	}
+
+	exC.InvalidateEngineCache()
+	if st := exC.EngineCacheStats(); st.Entries != 0 || st.UsedRecords != 0 {
+		t.Fatalf("post-invalidate stats %+v", st)
+	}
+}

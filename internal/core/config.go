@@ -65,21 +65,33 @@ type Config struct {
 	// disables). Candidate-operation evaluation revisits many selections;
 	// the cache trades memory for repeated scans (cf. Data Canopy [57]).
 	GroupCacheRecords int
+	// EngineCacheRecords budgets the RM-Generator's cross-step
+	// accumulator cache (total cached record count; 0 selects the
+	// default, negative disables). Sessions thread this cache across
+	// steps: a filter→generalize→filter walk that returns to an earlier
+	// selection — and the Recommendation Builder's repeated evaluation of
+	// overlapping candidate operations — skips the aggregation scan and
+	// re-finalizes the exact cached histograms against the current seen
+	// set, so cached and uncached steps return identical results. Set
+	// Engine.ExactOnCacheMiss to additionally make large pruned steps
+	// cacheable (exact scan on miss, zero scan on revisit).
+	EngineCacheRecords int
 }
 
 // DefaultConfig returns the Table 3 defaults with both pruning schemes and
 // a worker per configured core.
 func DefaultConfig() Config {
 	return Config{
-		K:                 3,
-		O:                 3,
-		L:                 3,
-		Engine:            engine.DefaultConfig(),
-		Distance:          diversity.EMDWithAttribute,
-		Limits:            query.DefaultCandidateLimits(),
-		RecWorkers:        1,
-		RecSampleSize:     2000,
-		GroupCacheRecords: 500_000,
+		K:                  3,
+		O:                  3,
+		L:                  3,
+		Engine:             engine.DefaultConfig(),
+		Distance:           diversity.EMDWithAttribute,
+		Limits:             query.DefaultCandidateLimits(),
+		RecWorkers:         1,
+		RecSampleSize:      2000,
+		GroupCacheRecords:  500_000,
+		EngineCacheRecords: 1_000_000,
 	}
 }
 
@@ -107,6 +119,9 @@ func (c Config) normalized() Config {
 	}
 	if c.GroupCacheRecords == 0 {
 		c.GroupCacheRecords = d.GroupCacheRecords
+	}
+	if c.EngineCacheRecords == 0 {
+		c.EngineCacheRecords = d.EngineCacheRecords
 	}
 	return c
 }

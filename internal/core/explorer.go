@@ -43,7 +43,24 @@ func NewExplorer(db *dataset.DB, cfg Config) (*Explorer, error) {
 	if cfg.GroupCacheRecords > 0 {
 		qe.EnableGroupCache(cfg.GroupCacheRecords)
 	}
-	return &Explorer{DB: db, Query: qe, Gen: engine.NewGenerator(db), Cfg: cfg}, nil
+	gen := engine.NewGenerator(db)
+	if cfg.EngineCacheRecords > 0 {
+		gen.Cache = engine.NewTopMapsCache(cfg.EngineCacheRecords)
+	}
+	return &Explorer{DB: db, Query: qe, Gen: gen, Cfg: cfg}, nil
+}
+
+// EngineCacheStats snapshots the RM-Generator's cross-step accumulator
+// cache (zero stats when the cache is disabled). All sessions of this
+// explorer share the cache, so the counters aggregate the whole workload.
+func (ex *Explorer) EngineCacheStats() engine.CacheStats {
+	return ex.Gen.Cache.Stats()
+}
+
+// InvalidateEngineCache drops every cached accumulator, e.g. after the
+// underlying database is swapped. Safe to call with the cache disabled.
+func (ex *Explorer) InvalidateEngineCache() {
+	ex.Gen.Cache.Invalidate()
 }
 
 // StepResult is what one exploration step displays: the group, its k

@@ -14,6 +14,14 @@ import (
 // rating maps (driving global peculiarity and dimension weights), and the
 // step log. Sessions are mode-agnostic; the mode decides who supplies each
 // operation.
+//
+// Steps are threaded through the explorer's cross-step accumulator cache
+// (Config.EngineCacheRecords): when an exploration walk revisits a
+// selection — filter → generalize → filter, the Back button, or a
+// recommendation target evaluated on an earlier step — the engine skips
+// the aggregation scan and re-finalizes the cached histograms against the
+// session's *current* seen set, so cached steps are indistinguishable
+// from recomputed ones.
 type Session struct {
 	Ex   *Explorer
 	Mode Mode

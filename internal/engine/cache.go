@@ -1,0 +1,210 @@
+// Cross-step accumulator cache: exploration walks revisit heavily
+// overlapping rating groups (filter → generalize → filter returns to a
+// selection whose maps were already computed, and the Recommendation
+// Builder re-evaluates hundreds of candidate operations whose targets
+// recur step after step). The scan — not the scoring — dominates TopMaps,
+// and the accumulated histograms depend only on (record set, candidate
+// set), NOT on the session's seen-set; memoizing completed accumulators
+// therefore lets a repeated step skip the scan entirely while the cheap
+// finalize pass still runs fresh against the current history, so cached
+// and uncached steps return identical Results. This is the
+// repeated-subquery memoization of the Subjective Databases system
+// (Li et al.) applied to SubDEx's aggregation hot path, budgeted like the
+// query layer's group cache (cf. Data Canopy [57]).
+
+package engine
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// TopMapsCache memoizes fully-accumulated, unpruned accumulators across
+// TopMaps calls. Entries are keyed by (group signature, candidate-key
+// set, utility config) and budgeted by total cached record count — the
+// scan cost a hit saves — with LRU eviction.
+//
+// Correctness invariant: only accumulators from COMPLETE, UNPRUNED scans
+// are admitted (every candidate's histogram covers every record of the
+// group). A hit bypasses the phase/pruning machinery and finalizes the
+// exact ranking directly; for unpruned configurations this is
+// bit-identical to the uncached run, for pruned configurations it is the
+// exact (strictly no-worse) answer the pruned run approximates w.h.p.
+// Cached accumulators are shared and read-only after publication;
+// concurrent finalize passes over one entry are safe.
+type TopMapsCache struct {
+	mu      sync.Mutex
+	budget  int
+	used    int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type topMapsCacheEntry struct {
+	key  string
+	acc  *ratingmap.Accumulator
+	cost int // record count of the cached scan
+}
+
+// NewTopMapsCache returns a cache budgeted by total cached record count
+// (≤ 0 yields a cache that stores nothing but still counts misses).
+func NewTopMapsCache(budgetRecords int) *TopMapsCache {
+	return &TopMapsCache{
+		budget:  budgetRecords,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached accumulator for key, if any, marking it most
+// recently used.
+func (c *TopMapsCache) get(key string) (*ratingmap.Accumulator, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*topMapsCacheEntry).acc, true
+}
+
+// put admits a completed accumulator, evicting LRU entries until the
+// record budget holds. It returns how many entries were evicted. Entries
+// larger than the whole budget are never admitted.
+func (c *TopMapsCache) put(key string, acc *ratingmap.Accumulator, cost int) int {
+	if c == nil || c.budget <= 0 || cost > c.budget {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return 0
+	}
+	evicted := 0
+	for c.used+cost > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*topMapsCacheEntry)
+		c.used -= ev.cost
+		delete(c.entries, ev.key)
+		c.order.Remove(back)
+		evicted++
+	}
+	el := c.order.PushFront(&topMapsCacheEntry{key: key, acc: acc, cost: cost})
+	c.entries[key] = el
+	c.used += cost
+	return evicted
+}
+
+// Invalidate drops every entry (and resets nothing else: hit/miss
+// counters keep accumulating). Call it when the underlying database is
+// swapped or mutated out from under the engine.
+func (c *TopMapsCache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+	c.used = 0
+}
+
+// CacheStats is a point-in-time snapshot of the cache, surfaced by the
+// server's /debug/cache endpoint and by cmd/sdebench.
+type CacheStats struct {
+	Entries       int   `json:"entries"`
+	UsedRecords   int   `json:"used_records"`
+	BudgetRecords int   `json:"budget_records"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters. Nil-safe (zero stats).
+func (c *TopMapsCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:       len(c.entries),
+		UsedRecords:   c.used,
+		BudgetRecords: c.budget,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+	}
+}
+
+// addEvictions folds eviction counts recorded by put under the lock-free
+// metrics path.
+func (c *TopMapsCache) addEvictions(n int) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.evictions += int64(n)
+	c.mu.Unlock()
+}
+
+// cacheKey builds the lookup key: the group signature (description +
+// record-set hash, distinguishing subsampled groups from their full
+// selection), the candidate-key set (order-insensitive), and the utility
+// configuration. The record hash is FNV-1a over the raw positions — O(n)
+// but ~50× cheaper per record than the scan it guards.
+func cacheKey(group *query.RatingGroup, candidates []ratingmap.Key, u ratingmap.UtilityConfig) string {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, r := range group.Records {
+		binary.LittleEndian.PutUint32(buf[:], uint32(r))
+		h.Write(buf[:])
+	}
+	ks := append([]ratingmap.Key(nil), candidates...)
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].Side != ks[j].Side {
+			return ks[i].Side < ks[j].Side
+		}
+		if ks[i].Attr != ks[j].Attr {
+			return ks[i].Attr < ks[j].Attr
+		}
+		return ks[i].Dim < ks[j].Dim
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\x02%d\x02%x\x02", group.Desc.Key(), len(group.Records), h.Sum64())
+	for _, k := range ks {
+		fmt.Fprintf(&b, "%d.%s.%d;", k.Side, k.Attr, k.Dim)
+	}
+	fmt.Fprintf(&b, "\x02%d|%d|%d|%t|%t", u.Aggregation, u.Single, u.Peculiarity,
+		u.DisableDimensionWeights, u.Normalize)
+	return b.String()
+}

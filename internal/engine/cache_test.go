@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"subdex/internal/obs"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+func TestTopMapsCacheLRUAndBudget(t *testing.T) {
+	c := NewTopMapsCache(100)
+	acc := &ratingmap.Accumulator{} // placeholder value; the cache never derefs it
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put("a", acc, 40)
+	c.put("b", acc, 40)
+	if st := c.Stats(); st.Entries != 2 || st.UsedRecords != 80 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Touch a so b becomes LRU, then overflow: b must go first.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("want hit on a")
+	}
+	if ev := c.put("c", acc, 40); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	// Oversized entries are never admitted.
+	if ev := c.put("huge", acc, 101); ev != 0 {
+		t.Fatalf("oversized put evicted %d", ev)
+	}
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry admitted")
+	}
+	c.Invalidate()
+	if st := c.Stats(); st.Entries != 0 || st.UsedRecords != 0 {
+		t.Fatalf("post-invalidate stats %+v", st)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit after invalidate")
+	}
+}
+
+func TestTopMapsCacheNilSafe(t *testing.T) {
+	var c *TopMapsCache
+	if _, ok := c.get("x"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.put("x", nil, 1)
+	c.addEvictions(3)
+	c.Invalidate()
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+	if hr := (CacheStats{}).HitRate(); hr != 0 {
+		t.Fatalf("zero hit rate = %g", hr)
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := buildRandomDB(t, rng, 5, 5, 50)
+	group := wholeGroup(t, db)
+	keys := allCandidates(db)
+	u := ratingmap.DefaultUtilityConfig()
+
+	base := cacheKey(group, keys, u)
+	if base != cacheKey(group, keys, u) {
+		t.Fatal("key not deterministic")
+	}
+	// Candidate order must not matter (set semantics).
+	rev := append([]ratingmap.Key(nil), keys...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if base != cacheKey(group, rev, u) {
+		t.Fatal("key depends on candidate order")
+	}
+	// A different candidate set must change the key.
+	if base == cacheKey(group, keys[:len(keys)-1], u) {
+		t.Fatal("key ignores candidate set")
+	}
+	// A different record subset must change the key.
+	sub := &query.RatingGroup{Desc: group.Desc, Records: group.Records[:len(group.Records)-1],
+		Reviewers: group.Reviewers, Items: group.Items}
+	if base == cacheKey(sub, keys, u) {
+		t.Fatal("key ignores record set")
+	}
+	// A different utility config must change the key.
+	u2 := u
+	u2.Normalize = true
+	if base == cacheKey(group, keys, u2) {
+		t.Fatal("key ignores utility config")
+	}
+}
+
+// TestCacheMetricsWired checks the subdex_engine_cache_* counters move
+// with cache traffic.
+func TestCacheMetricsWired(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := buildRandomDB(t, rng, 10, 10, 500)
+	group := wholeGroup(t, db)
+	keys := allCandidates(db)
+
+	reg := obs.NewRegistry()
+	g := NewGenerator(db)
+	g.Metrics = NewMetrics(reg)
+	g.Cache = NewTopMapsCache(1 << 20)
+
+	cfg := DefaultConfig()
+	cfg.Pruning = PruneNone
+	for i := 0; i < 3; i++ {
+		if _, err := g.TopMaps(group, keys, ratingmap.NewSeenSet(), 4, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.Metrics.CacheMisses.Value(); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	if got := g.Metrics.CacheHits.Value(); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+	st := g.Cache.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if hr := st.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate %g, want 2/3", hr)
+	}
+}
+
+// TestCacheEvictionMetrics drives the budget over capacity and checks
+// evictions are counted on both the cache and the metrics registry.
+func TestCacheEvictionMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := buildRandomDB(t, rng, 10, 10, 400)
+	qe, err := query.NewEngine(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allCandidates(db)
+
+	reg := obs.NewRegistry()
+	g := NewGenerator(db)
+	g.Metrics = NewMetrics(reg)
+	// Budget fits one whole-database group only; distinct sub-groups
+	// plus the root must evict.
+	g.Cache = NewTopMapsCache(db.Ratings.Len() + 10)
+
+	cfg := DefaultConfig()
+	cfg.Pruning = PruneNone
+	descs := []query.Description{
+		{},
+		query.MustDescription(query.Selector{Side: query.ReviewerSide, Attr: "age", Value: "young"}),
+		query.MustDescription(query.Selector{Side: query.ReviewerSide, Attr: "age", Value: "old"}),
+	}
+	for _, d := range descs {
+		group, err := qe.Materialize(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if group.Len() == 0 {
+			continue
+		}
+		if _, err := g.TopMaps(group, keys, ratingmap.NewSeenSet(), 4, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Cache.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions, stats %+v", st)
+	}
+	if got := g.Metrics.CacheEvictions.Value(); got != st.Evictions {
+		t.Fatalf("metrics evictions %d != cache evictions %d", got, st.Evictions)
+	}
+	if st.UsedRecords > st.BudgetRecords {
+		t.Fatalf("budget overrun: %+v", st)
+	}
+}
+
+// TestCacheConcurrentTopMaps hammers one shared cache from many
+// goroutines (the server's concurrent-sessions shape); run under -race
+// this proves the published accumulators are safely shared read-only.
+func TestCacheConcurrentTopMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	db := buildRandomDB(t, rng, 20, 15, 1500)
+	group := wholeGroup(t, db)
+	keys := allCandidates(db)
+
+	g := NewGenerator(db)
+	g.Cache = NewTopMapsCache(1 << 20)
+	cfg := DefaultConfig()
+	cfg.Pruning = PruneNone
+	cfg.Workers = 2
+
+	want, err := g.TopMaps(group, keys, ratingmap.NewSeenSet(), 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := ratingmap.DigestMaps(want.Maps)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := g.TopMaps(group, keys, ratingmap.NewSeenSet(), 5, cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ratingmap.DigestMaps(res.Maps) != wantDigest {
+					t.Error("concurrent result differs")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := g.Cache.Stats(); st.Hits < 40 {
+		t.Fatalf("expected ≥40 hits, stats %+v", st)
+	}
+}
+
+// TestExactOnCacheMiss verifies the opt-in: with a cache installed and
+// ExactOnCacheMiss set, a group above the phase threshold skips the
+// pruning machinery (miss = exact scan, populate) and the revisit hits.
+func TestExactOnCacheMiss(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := buildRandomDB(t, rng, 40, 30, 9000)
+	group := wholeGroup(t, db)
+	keys := allCandidates(db)
+
+	g := NewGenerator(db)
+	g.Cache = NewTopMapsCache(1 << 22)
+	cfg := DefaultConfig()
+	cfg.MinPhaseRecords = 1000 // group is comfortably phased-eligible
+	cfg.ExactOnCacheMiss = true
+
+	first, err := g.TopMaps(group, keys, ratingmap.NewSeenSet(), 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PrunedCI != 0 || first.PrunedMAB != 0 {
+		t.Fatalf("exact-on-miss run pruned: %+v", first)
+	}
+	second, err := g.TopMaps(group, keys, ratingmap.NewSeenSet(), 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss", st)
+	}
+	if ratingmap.DigestMaps(first.Maps) != ratingmap.DigestMaps(second.Maps) {
+		t.Fatal("hit result differs from miss result")
+	}
+	// Without the flag the same shape takes the phased path and, having
+	// pruned, must NOT populate the cache.
+	g2 := NewGenerator(db)
+	g2.Cache = NewTopMapsCache(1 << 22)
+	cfg2 := DefaultConfig()
+	cfg2.MinPhaseRecords = 1000
+	res, err := g2.TopMaps(group, keys, ratingmap.NewSeenSet(), 4, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrunedCI+res.PrunedMAB > 0 {
+		if st := g2.Cache.Stats(); st.Entries != 0 {
+			t.Fatalf("pruned run populated the cache: %+v", st)
+		}
+	}
+}

@@ -71,6 +71,14 @@ type Config struct {
 	// MinPhaseRecords skips phased execution for groups smaller than this:
 	// pruning overhead would exceed the scan cost.
 	MinPhaseRecords int
+	// ExactOnCacheMiss, with a Generator.Cache installed, disables the
+	// phase/pruning machinery on cache misses and runs the exact sharded
+	// scan instead, so every completed scan is cacheable. One exact scan
+	// costs a small constant factor more than a pruned one; every revisit
+	// of the group then skips the scan entirely. Leave false (the default)
+	// to preserve pure Algorithm 1 semantics on misses — sub-threshold
+	// groups and recommendation evaluation still populate the cache.
+	ExactOnCacheMiss bool
 	// PhaseHook, when non-nil, runs at the start of every phase (and once,
 	// with phase 0, before the single-pass scan of the unphased path) with
 	// the TopMaps context and the phase index. It is a test-only
@@ -125,6 +133,10 @@ type Generator struct {
 	// pruning and finalization counters, latency and worker-utilization
 	// histograms). Leave nil for a zero-overhead generator.
 	Metrics *Metrics
+	// Cache, when non-nil, memoizes completed unpruned accumulators
+	// across TopMaps calls (see TopMapsCache). Safe for concurrent use;
+	// all sessions of one explorer share it.
+	Cache *TopMapsCache
 }
 
 // NewGenerator wraps a frozen database.
@@ -202,11 +214,37 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		return res, nil
 	}
 
-	acc := g.Builder.NewAccumulator(group.Desc, candidates)
 	n := len(group.Records)
 
+	// Cross-step cache: a completed unpruned accumulator for this exact
+	// (group, candidate set, utility config) lets the step skip the scan
+	// and finalize the exact ranking directly. The cached accumulator is
+	// shared and read-only; finalize never mutates it.
+	var key string
+	if g.Cache != nil {
+		key = cacheKey(group, candidates, cfg.Utility)
+		if cached, ok := g.Cache.get(key); ok {
+			g.Metrics.addCacheHit()
+			span.SetAttr("cache", "hit")
+			if cfg.PhaseHook != nil {
+				cfg.PhaseHook(ctx, 0)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err // nothing served yet: fail, don't degrade
+			}
+			res.RecordsProcessed = n
+			g.finalize(ctx, cached, seen, kPrime, cfg, res)
+			return res, nil
+		}
+		g.Metrics.addCacheMiss()
+		span.SetAttr("cache", "miss")
+	}
+
+	acc := g.Builder.NewAccumulator(group.Desc, candidates)
+
 	usePhases := cfg.Pruning != PruneNone && cfg.Phases > 1 &&
-		n >= cfg.MinPhaseRecords && len(candidates) > kPrime
+		n >= cfg.MinPhaseRecords && len(candidates) > kPrime &&
+		!(g.Cache != nil && cfg.ExactOnCacheMiss)
 	span.SetAttr("phased", usePhases)
 
 	if !usePhases {
@@ -216,8 +254,9 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		if err := ctx.Err(); err != nil {
 			return nil, err // nothing processed yet: fail, don't degrade
 		}
-		acc.Update(group.Records)
+		g.accumulate(acc, group.Records, cfg.Workers)
 		res.RecordsProcessed = n
+		g.maybeCache(key, acc, res, n)
 		g.finalize(ctx, acc, seen, kPrime, cfg, res)
 		return res, nil
 	}
@@ -271,7 +310,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 			pspan.SetAttr("pruned_mab", res.PrunedMAB-mabBefore)
 			pspan.End()
 		}
-		acc.Update(group.Records[lo:hi])
+		g.accumulate(acc, group.Records[lo:hi], cfg.Workers)
 		processed = hi
 		if phase == cfg.Phases-1 {
 			endPhase()
@@ -339,7 +378,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 				lo := p * n / cfg.Phases
 				hi := (p + 1) * n / cfg.Phases
 				if lo < hi {
-					acc.Update(group.Records[lo:hi])
+					g.accumulate(acc, group.Records[lo:hi], cfg.Workers)
 					processed = hi
 				}
 			}
@@ -349,6 +388,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		endPhase()
 	}
 	res.RecordsProcessed = processed
+	g.maybeCache(key, acc, res, n)
 	// Finalize over whatever prefix was accumulated. A degraded run
 	// finalizes under a detached context: the final scoring pass is cheap
 	// (it reads accumulated statistics, not records) and must complete for
@@ -511,11 +551,21 @@ func ciPrune(est map[int]estimateEntry, processed, total, kPrime int, delta floa
 	return pruned
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// maybeCache admits the accumulator into the cross-step cache when it is
+// a complete, unpruned scan of the whole group: no candidate was removed
+// mid-scan (every histogram covers every record) and the scan reached the
+// final record. key is empty when no cache is installed. A degraded
+// *finalize* does not block admission — degradation there only truncates
+// scoring, the accumulated counts are already complete.
+func (g *Generator) maybeCache(key string, acc *ratingmap.Accumulator, res *Result, n int) {
+	if key == "" || res.PrunedCI > 0 || res.PrunedMAB > 0 || res.RecordsProcessed != n {
+		return
 	}
-	return b
+	evicted := g.Cache.put(key, acc, n)
+	if evicted > 0 {
+		g.Cache.addEvictions(evicted)
+		g.Metrics.addCacheEvictions(evicted)
+	}
 }
 
 func countTrue(bs []bool) int {

@@ -33,9 +33,16 @@ type Metrics struct {
 	// (subdex_engine_phase_duration_seconds).
 	PhaseLatency *obs.Histogram
 	// WorkerUtilization is Σ busy-time / (wall × workers) of the parallel
-	// estimation pools, in (0,1]
+	// estimation and sharded-scan pools, in (0,1]
 	// (subdex_engine_worker_utilization_ratio).
 	WorkerUtilization *obs.Histogram
+	// CacheHits / CacheMisses / CacheEvictions count cross-step
+	// accumulator cache traffic (subdex_engine_cache_hits_total,
+	// subdex_engine_cache_misses_total,
+	// subdex_engine_cache_evictions_total).
+	CacheHits      *obs.Counter
+	CacheMisses    *obs.Counter
+	CacheEvictions *obs.Counter
 }
 
 // NewMetrics registers the engine's instruments on r. A nil registry
@@ -64,6 +71,12 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		WorkerUtilization: r.Histogram("subdex_engine_worker_utilization_ratio",
 			"Busy-time share of the parallel estimation worker pool.",
 			obs.RatioBuckets),
+		CacheHits: r.Counter("subdex_engine_cache_hits_total",
+			"TopMaps calls served from the cross-step accumulator cache."),
+		CacheMisses: r.Counter("subdex_engine_cache_misses_total",
+			"TopMaps cache lookups that missed and fell back to a scan."),
+		CacheEvictions: r.Counter("subdex_engine_cache_evictions_total",
+			"Accumulator cache entries evicted by the record budget."),
 	}
 }
 
@@ -110,6 +123,27 @@ func (m *Metrics) observePhase(d time.Duration) {
 		return
 	}
 	m.PhaseLatency.ObserveDuration(d)
+}
+
+func (m *Metrics) addCacheHit() {
+	if m == nil {
+		return
+	}
+	m.CacheHits.Inc()
+}
+
+func (m *Metrics) addCacheMiss() {
+	if m == nil {
+		return
+	}
+	m.CacheMisses.Inc()
+}
+
+func (m *Metrics) addCacheEvictions(n int) {
+	if m == nil {
+		return
+	}
+	m.CacheEvictions.Add(int64(n))
 }
 
 // observeUtilization records Σbusy/(wall×workers), clamped to (0,1].

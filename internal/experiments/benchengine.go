@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"subdex/internal/engine"
+	"subdex/internal/gen"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+)
+
+// BenchEngineReport is the machine-readable artifact of the benchengine
+// experiment (written to Params.BenchOut, default BENCH_engine.json). It
+// captures the two optimizations this repo layers over Algorithm 1 —
+// sharded parallel accumulation and the cross-step accumulator cache —
+// as before/after ns-per-step pairs, plus the exactness verdict: the
+// rating maps of every variant must be byte-identical (same histogram
+// digests) to the sequential uncached reference.
+type BenchEngineReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	Dataset     string  `json:"dataset"`
+	Scale       float64 `json:"scale"`
+	Records     int     `json:"records"`
+	Candidates  int     `json:"candidates"`
+	Cores       int     `json:"cores"`
+	Workers     int     `json:"workers"`
+
+	// Sequential (Workers=1, no cache) vs sharded parallel accumulation.
+	SeqNsPerStep int64   `json:"seq_ns_per_step"`
+	ParNsPerStep int64   `json:"par_ns_per_step"`
+	ParSpeedup   float64 `json:"par_speedup"`
+
+	// Cold (miss, scan+populate) vs warm (hit, re-finalize only) steps on
+	// a cache-enabled generator.
+	ColdNsPerStep int64   `json:"cold_ns_per_step"`
+	WarmNsPerStep int64   `json:"warm_ns_per_step"`
+	WarmSpeedup   float64 `json:"warm_speedup"`
+
+	Cache        engine.CacheStats `json:"cache"`
+	CacheHitRate float64           `json:"cache_hit_rate"`
+
+	// MapsIdentical reports whether the parallel and cached variants
+	// reproduced the sequential reference's rating maps bit-for-bit.
+	MapsIdentical bool `json:"maps_identical"`
+}
+
+// benchIters times fn over enough iterations to smooth scheduler noise
+// and returns ns per iteration. One untimed warmup runs first.
+func benchIters(iters int, fn func()) int64 {
+	fn() // warmup
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+// BenchEngine measures the RM-Generator's hot path on the whole-database
+// Yelp group: sequential vs sharded-parallel accumulation, and cold vs
+// warm cross-step cache steps. Pruning is disabled so every variant does
+// identical logical work and the results are provably exact (the pruned
+// paths are covered by the differential suite instead).
+func BenchEngine(p Params) error {
+	header(p.Out, "Engine bench: sharded accumulation + cross-step cache")
+	db, err := gen.Yelp(gen.Config{Seed: p.seed(), Scale: p.scale()})
+	if err != nil {
+		return err
+	}
+	qe, err := query.NewEngine(db)
+	if err != nil {
+		return err
+	}
+	group, err := qe.Materialize(query.Description{})
+	if err != nil {
+		return err
+	}
+
+	g := engine.NewGenerator(db)
+	cands := g.Candidates(qe, query.Description{})
+	const kPrime = 9 // Table 3 defaults: k=3, l=3
+	cfg := engine.DefaultConfig()
+	cfg.Pruning = engine.PruneNone
+
+	workers := runtime.NumCPU()
+	if workers > 4 {
+		workers = 4 // the paper's evaluation budget; keeps runs comparable
+	}
+	iters := 3
+	if group.Len() < 200_000 {
+		iters = 5
+	}
+
+	run := func(gen *engine.Generator, w int) *engine.Result {
+		c := cfg
+		c.Workers = w
+		res, err := gen.TopMaps(group, cands, ratingmap.NewSeenSet(), kPrime, c)
+		if err != nil {
+			panic(err) // deterministic workload; cannot fail after the first run
+		}
+		return res
+	}
+
+	// Reference: sequential scan, no cache.
+	seqRes := run(g, 1)
+	wantDigest := ratingmap.DigestMaps(seqRes.Maps)
+	seqNs := benchIters(iters, func() { run(g, 1) })
+
+	// Sharded parallel accumulation.
+	parRes := run(g, workers)
+	parNs := benchIters(iters, func() { run(g, workers) })
+
+	// Cross-step cache: cold populates, warm re-finalizes only.
+	gc := engine.NewGenerator(db)
+	gc.Cache = engine.NewTopMapsCache(2 * group.Len())
+	coldStart := time.Now()
+	coldRes := run(gc, workers)
+	coldNs := time.Since(coldStart).Nanoseconds()
+	warmNs := benchIters(5*iters, func() { run(gc, workers) })
+	warmRes := run(gc, workers)
+	st := gc.Cache.Stats()
+
+	identical := ratingmap.DigestMaps(parRes.Maps) == wantDigest &&
+		ratingmap.DigestMaps(coldRes.Maps) == wantDigest &&
+		ratingmap.DigestMaps(warmRes.Maps) == wantDigest
+
+	rep := BenchEngineReport{
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		Dataset:       "yelp",
+		Scale:         p.scale(),
+		Records:       group.Len(),
+		Candidates:    len(cands),
+		Cores:         runtime.NumCPU(),
+		Workers:       workers,
+		SeqNsPerStep:  seqNs,
+		ParNsPerStep:  parNs,
+		ParSpeedup:    float64(seqNs) / float64(parNs),
+		ColdNsPerStep: coldNs,
+		WarmNsPerStep: warmNs,
+		WarmSpeedup:   float64(coldNs) / float64(warmNs),
+		Cache:         st,
+		CacheHitRate:  st.HitRate(),
+		MapsIdentical: identical,
+	}
+
+	tw := newTab(p.Out)
+	fmt.Fprintf(tw, "records\tcandidates\tcores\tworkers\n")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\n\n", rep.Records, rep.Candidates, rep.Cores, rep.Workers)
+	fmt.Fprintf(tw, "variant\tns/step\tspeedup\n")
+	fmt.Fprintf(tw, "sequential (reference)\t%d\t1.00x\n", rep.SeqNsPerStep)
+	fmt.Fprintf(tw, "sharded parallel\t%d\t%.2fx\n", rep.ParNsPerStep, rep.ParSpeedup)
+	fmt.Fprintf(tw, "cache cold (miss)\t%d\t\n", rep.ColdNsPerStep)
+	fmt.Fprintf(tw, "cache warm (hit)\t%d\t%.2fx\n", rep.WarmNsPerStep, rep.WarmSpeedup)
+	tw.Flush()
+	fmt.Fprintf(p.Out, "cache: %d hits / %d misses (rate %.2f), maps identical: %v\n",
+		st.Hits, st.Misses, rep.CacheHitRate, rep.MapsIdentical)
+	if !identical {
+		return fmt.Errorf("benchengine: optimized variants diverged from the sequential reference")
+	}
+
+	out := p.benchOut()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(p.Out, "report written to %s\n", out)
+	return nil
+}

@@ -41,9 +41,19 @@ type Selector struct {
 	Value string
 }
 
-// String renders the selector as table.attr='value'.
+// String renders the selector as table.attr='value'. The quote character
+// adapts to the value: values containing a single quote render with double
+// quotes, so every parser-producible selector formats to a string that
+// re-parses to itself (a quoted value can contain the other quote kind but
+// never its own delimiter). Values containing both quote kinds — only
+// constructible programmatically — have no parseable rendering; the
+// single-quoted form is used as a best effort.
 func (s Selector) String() string {
-	return fmt.Sprintf("%s.%s='%s'", s.Side, s.Attr, s.Value)
+	q := byte('\'')
+	if strings.ContainsRune(s.Value, '\'') && !strings.ContainsRune(s.Value, '"') {
+		q = '"'
+	}
+	return fmt.Sprintf("%s.%s=%c%s%c", s.Side, s.Attr, q, s.Value, q)
 }
 
 // Key returns a canonical identity string (used for set semantics).

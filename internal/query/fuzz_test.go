@@ -1,0 +1,74 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the advanced-screen predicate parser with arbitrary
+// input. Two invariants:
+//
+//  1. Never panic — any byte sequence yields a Description or an error.
+//  2. Round trip — a successful parse formats (Description.String) to a
+//     canonical predicate that re-parses to an equal Description. The
+//     formatter picks its quote character per value, so the only inputs
+//     exempted are values containing both quote kinds, which the grammar
+//     itself cannot express (a quoted value terminates at the first
+//     occurrence of its own delimiter).
+//
+// Seed corpus: the documented grammar, every quote style, aliases,
+// adversarial fragments from past parser bugs, and non-ASCII input.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"   ",
+		"TRUE",
+		"true",
+		"reviewers.gender = 'F'",
+		`items.city = "NYC" AND reviewers.age_group = young`,
+		"gender = 'F'",
+		"users.gender='F'AND items.city='NYC'",
+		`reviewers.gender = "a'b"`,
+		`reviewers.gender = 'a"b'`,
+		"cuisine = sushi",
+		"a.b.c = 'x'",
+		"AND AND AND",
+		"reviewers.",
+		".gender = 'F'",
+		"reviewers.gender == 'F'",
+		"reviewers.gender = 'F' AND",
+		"🦀.🦀 = '🦀'",
+		"\x00\x01\x02",
+		"gender=''",
+		"  REVIEWERS.GENDER  =  \"F\"  ",
+	} {
+		f.Add(s)
+	}
+	e := parserEngine(f)
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseDescription(input, e) // must not panic
+		if err != nil {
+			return
+		}
+		canon := d.String()
+		again, err := ParseDescription(canon, e)
+		if err != nil {
+			// The single unrepresentable case: a programmatic value holding
+			// both quote kinds. The parser cannot produce one, so reaching
+			// this from parsed input is a bug.
+			for _, sel := range d.Selectors() {
+				if strings.ContainsRune(sel.Value, '\'') && strings.ContainsRune(sel.Value, '"') {
+					return
+				}
+			}
+			t.Fatalf("canonical form %q of input %q does not re-parse: %v", canon, input, err)
+		}
+		if !again.Equal(d) {
+			t.Fatalf("round trip changed %q: %q -> %q", input, canon, again.String())
+		}
+		// Canonical form must be a fixed point of String.
+		if again.String() != canon {
+			t.Fatalf("String not canonical: %q vs %q", again.String(), canon)
+		}
+	})
+}

@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func parserEngine(t *testing.T) *Engine {
+func parserEngine(t testing.TB) *Engine {
 	t.Helper()
 	e, err := NewEngine(buildQueryDB(t))
 	if err != nil {

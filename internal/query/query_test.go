@@ -185,7 +185,7 @@ func TestBitsetSetOps(t *testing.T) {
 }
 
 // buildQueryDB builds the Figure 2-style database for engine tests.
-func buildQueryDB(t *testing.T) *dataset.DB {
+func buildQueryDB(t testing.TB) *dataset.DB {
 	t.Helper()
 	rs, _ := dataset.NewSchema(dataset.Attribute{Name: "gender"}, dataset.Attribute{Name: "age_group"})
 	is, _ := dataset.NewSchema(

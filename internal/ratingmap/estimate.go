@@ -17,13 +17,7 @@ func (a *Accumulator) CriteriaEstimate(k Key, seen *SeenSet, recordScale float64
 // measure, keeping the pruning estimates consistent with the configured
 // exact scoring.
 func (a *Accumulator) CriteriaEstimateOpt(k Key, seen *SeenSet, recordScale float64, m PeculiarityMeasure) (s Scores, ok bool) {
-	var p *partial
-	for _, cand := range a.byAttr[attrKey(k.Side, k.Attr)] {
-		if cand.key == k {
-			p = cand
-			break
-		}
-	}
+	p := a.find(k)
 	if p == nil {
 		return s, false
 	}

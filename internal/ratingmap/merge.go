@@ -1,0 +1,129 @@
+package ratingmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"subdex/internal/query"
+)
+
+// This file implements deterministic accumulator merging, the substrate of
+// the engine's sharded parallel scan: each worker accumulates a private
+// shard of the record range (no locks on the per-record hot loop), then the
+// shards are merged into the target accumulator *in shard order*. All
+// accumulator state is integer histogram counts, so merging is plain
+// addition — the merged state is bit-for-bit identical to a sequential scan
+// of the concatenated ranges, independent of thread scheduling. The
+// differential harness in internal/engine and FuzzMerge below this package
+// prove that equivalence on randomized inputs.
+
+// Desc returns the group description the accumulator was created for, so
+// the engine can spawn shard accumulators structurally identical to the
+// target without re-threading the description.
+func (a *Accumulator) Desc() query.Description { return a.desc }
+
+// Merge folds other's partial state into a. Candidates are matched by key:
+// counts of shared candidates are added element-wise; candidates present
+// only in other are deep-copied into a (registered at the end of a's key
+// order, preserving other's order). Both accumulators must observe the same
+// database — merging shards of one group's record range is the intended
+// use. Merge is exact: all state is integer counts, so
+//
+//	Merge(accumulate(r[:i]), accumulate(r[i:])) == accumulate(r)
+//
+// for every split point i, bit for bit.
+func (a *Accumulator) Merge(other *Accumulator) {
+	for _, k := range other.order {
+		op := other.find(k)
+		if op == nil {
+			continue // unreachable: order and byAttr are kept in sync
+		}
+		p := a.find(k)
+		if p == nil {
+			ak := attrKey(k.Side, k.Attr)
+			cp := &partial{key: k, scale: op.scale}
+			cp.merge(op)
+			a.byAttr[ak] = append(a.byAttr[ak], cp)
+			a.order = append(a.order, k)
+			continue
+		}
+		p.merge(op)
+	}
+	a.recordVisits += other.recordVisits
+}
+
+// find returns the partial of a candidate key, or nil.
+func (a *Accumulator) find(k Key) *partial {
+	for _, cand := range a.byAttr[attrKey(k.Side, k.Attr)] {
+		if cand.key == k {
+			return cand
+		}
+	}
+	return nil
+}
+
+// merge adds o's histogram counts into p. Integer addition is associative
+// and commutative, so any merge order yields identical counts; the engine
+// still merges in shard order so the in-memory layout (counts slice
+// lengths, subgroup registration order) is reproducible run-to-run.
+func (p *partial) merge(o *partial) {
+	if len(o.counts) > len(p.counts) {
+		grown := make([][]int, len(o.counts))
+		copy(grown, p.counts)
+		p.counts = grown
+	}
+	for v, oc := range o.counts {
+		if oc == nil {
+			continue
+		}
+		c := p.counts[v]
+		if c == nil {
+			c = make([]int, p.scale)
+			p.counts[v] = c
+			p.nValues++
+		}
+		for s, n := range oc {
+			c[s] += n
+		}
+	}
+	p.nRecords += o.nRecords
+}
+
+// NumRecords reports how many scored records the candidate has accumulated
+// (0 for unknown candidates). Exposed for the differential test harness and
+// the bench's exactness checks.
+func (a *Accumulator) NumRecords(k Key) int {
+	p := a.find(k)
+	if p == nil {
+		return 0
+	}
+	return p.nRecords
+}
+
+// Digest renders a canonical, byte-stable fingerprint of a rating map:
+// the key, the total record count, and every subgroup's value id and full
+// histogram, in subgroup-value order (independent of the display sort).
+// Two rating maps digest equally iff their accumulated counts are
+// identical — the "byte-identical rating maps" check of the differential
+// harness and of cmd/sdebench's BENCH_engine.json exactness field.
+func (rm *RatingMap) Digest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d.%s.dim%d|n=%d|", rm.Side, rm.Attr, rm.Dim, rm.TotalRecords)
+	sgs := append([]Subgroup(nil), rm.Subgroups...)
+	sort.Slice(sgs, func(i, j int) bool { return sgs[i].Value < sgs[j].Value })
+	for _, sg := range sgs {
+		fmt.Fprintf(&b, "%d:%v;", sg.Value, sg.Counts)
+	}
+	return b.String()
+}
+
+// DigestMaps digests a whole result set in order, newline-separated.
+func DigestMaps(maps []*RatingMap) string {
+	var b strings.Builder
+	for _, rm := range maps {
+		b.WriteString(rm.Digest())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

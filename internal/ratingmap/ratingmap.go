@@ -334,13 +334,7 @@ func (a *Accumulator) Remove(k Key) {
 // RatingMap. The engine uses snapshots both for per-phase utility estimates
 // and for the final exact maps after the last phase.
 func (a *Accumulator) Snapshot(k Key) *RatingMap {
-	var p *partial
-	for _, cand := range a.byAttr[attrKey(k.Side, k.Attr)] {
-		if cand.key == k {
-			p = cand
-			break
-		}
-	}
+	p := a.find(k)
 	if p == nil {
 		return nil
 	}

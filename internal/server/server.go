@@ -225,6 +225,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/sessions/", s.instrument("/sessions/{id}", s.handleSession))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/spans", s.instrument("/debug/spans", s.handleSpans))
+	mux.HandleFunc("/debug/cache", s.instrument("/debug/cache", s.handleCache))
 	return mux
 }
 
@@ -286,6 +287,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = s.reg.WritePrometheus(w)
+}
+
+// handleCache serves a snapshot of the engine's cross-step accumulator
+// cache: entry/record occupancy against the budget, hit/miss/eviction
+// counters, and the derived hit rate. The same counters are exported as
+// subdex_engine_cache_*_total on /metrics; this endpoint adds the
+// occupancy view Prometheus counters cannot carry.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.ex.EngineCacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine_cache": st,
+		"hit_rate":     st.HitRate(),
+		"enabled":      st.BudgetRecords > 0,
+	})
 }
 
 // handleSpans serves the most recent request span trees, newest first.

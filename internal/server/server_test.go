@@ -485,3 +485,57 @@ func TestVegaEndpoint(t *testing.T) {
 		t.Fatalf("out-of-range vega: %d", r.StatusCode)
 	}
 }
+
+func TestDebugCacheEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	var out struct {
+		EngineCache struct {
+			Entries       int   `json:"entries"`
+			UsedRecords   int   `json:"used_records"`
+			BudgetRecords int   `json:"budget_records"`
+			Hits          int64 `json:"hits"`
+			Misses        int64 `json:"misses"`
+		} `json:"engine_cache"`
+		HitRate float64 `json:"hit_rate"`
+		Enabled bool    `json:"enabled"`
+	}
+	resp := getJSON(t, ts.URL+"/debug/cache", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache: %d", resp.StatusCode)
+	}
+	if !out.Enabled || out.EngineCache.BudgetRecords <= 0 {
+		t.Fatalf("default server must enable the engine cache: %+v", out)
+	}
+	if out.EngineCache.Hits != 0 || out.EngineCache.Misses != 0 {
+		t.Fatalf("fresh server has cache traffic: %+v", out)
+	}
+
+	// One step populates the cache (recommendation evaluation revisits
+	// candidate groups, so misses must move; revisited ops may also hit).
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+	var step StepJSON
+	getJSON(t, fmt.Sprintf("%s/sessions/%d/step", ts.URL, id), &step)
+
+	resp = getJSON(t, ts.URL+"/debug/cache", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache after step: %d", resp.StatusCode)
+	}
+	if out.EngineCache.Misses == 0 || out.EngineCache.Entries == 0 {
+		t.Fatalf("step produced no cache activity: %+v", out)
+	}
+	if out.EngineCache.UsedRecords > out.EngineCache.BudgetRecords {
+		t.Fatalf("budget overrun: %+v", out)
+	}
+
+	// Method discipline.
+	r, err := http.Post(ts.URL+"/debug/cache", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /debug/cache: %d", r.StatusCode)
+	}
+}
