@@ -1,0 +1,32 @@
+// Command subdexvet is SubDEx's project-invariant checker: a
+// multichecker over the four analyzers that encode the disciplines
+// hand-review kept re-catching in PRs 1–3 (see internal/analysis/...).
+//
+// Run it standalone over the module:
+//
+//	go run ./cmd/subdexvet ./...
+//
+// or as a vet tool, which lets cmd/go cache results per package:
+//
+//	go build -o bin/subdexvet ./cmd/subdexvet
+//	go vet -vettool=$PWD/bin/subdexvet ./...
+//
+// Exit status: 0 clean, 1 driver error, 2 findings.
+package main
+
+import (
+	"subdex/internal/analysis/ctxflow"
+	"subdex/internal/analysis/detorder"
+	"subdex/internal/analysis/framework"
+	"subdex/internal/analysis/lockblock"
+	"subdex/internal/analysis/obsmetrics"
+)
+
+func main() {
+	framework.Main([]*framework.Analyzer{
+		obsmetrics.Analyzer,
+		ctxflow.Analyzer,
+		detorder.Analyzer,
+		lockblock.Analyzer,
+	})
+}

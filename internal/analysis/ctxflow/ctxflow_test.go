@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"subdex/internal/analysis/analysistest"
+	"subdex/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "lib", "mainpkg")
+}

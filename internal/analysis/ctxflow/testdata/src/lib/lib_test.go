@@ -1,0 +1,8 @@
+package lib
+
+import "context"
+
+// Test files own their root contexts: exempt.
+func testHelper() context.Context {
+	return context.Background() // no want: test file
+}

@@ -1,0 +1,11 @@
+// Command mainpkg is an entry point: it owns its root context, so
+// Background is accepted here.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background()) // no want: main package
+}
+
+func run(ctx context.Context) { _ = ctx }

@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"subdex/internal/analysis/analysistest"
+	"subdex/internal/analysis/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", detorder.Analyzer, "internal/engine", "other")
+}

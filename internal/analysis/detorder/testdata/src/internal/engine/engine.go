@@ -1,0 +1,78 @@
+// Package engine (fixture) stands in for subdex/internal/engine — a
+// determinism-critical package where detorder's map-range rules apply.
+package engine
+
+import "sort"
+
+// bare iterates a map with no annotation and no sorting: flagged.
+func bare(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+// annotatedTrailing carries a trailing annotation with a reason: accepted.
+func annotatedTrailing(m map[int]int) int {
+	max := 0
+	for _, v := range m { //subdex:orderinsensitive integer max is commutative and associative
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// annotatedAbove carries the annotation on the line above: accepted.
+func annotatedAbove(m map[string]bool) int {
+	n := 0
+	//subdex:orderinsensitive pure count of set members; order cannot change a cardinality
+	for range m {
+		n++
+	}
+	return n
+}
+
+// annotatedEmpty has the marker but no reason: that is its own error.
+func annotatedEmpty(m map[int]int) int {
+	n := 0
+	//subdex:orderinsensitive
+	for range m { // want `needs a reason`
+		n++
+	}
+	return n
+}
+
+// collectThenSort is the blessed idiom: append keys, sort, iterate sorted.
+func collectThenSort(m map[int]float64) float64 {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// collectNoSort appends but never sorts: still nondeterministic output
+// order, still flagged.
+func collectNoSort(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceRange is not a map range: no rule applies.
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,272 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors cmd/go's per-package vet configuration (the JSON it
+// writes to $WORK/.../vet.cfg before invoking the -vettool). Only the
+// fields this driver consumes are declared; unknown fields are ignored
+// by encoding/json, keeping us compatible across toolchain versions.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+	GoVersion    string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point shared by cmd/subdexvet's two personalities:
+//
+//	subdexvet [packages]         standalone: load via go list, report, exit 2 on findings
+//	go vet -vettool=subdexvet    unitchecker: cmd/go invokes it once per package
+//	                             with a generated *.cfg file (plus -V=full once,
+//	                             to derive a build-cache key from the tool binary)
+//
+// It never returns.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+
+	var patterns []string
+	cfgFile := ""
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Printf("subdexvet version devel buildID=%s\n", selfID())
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			// cmd/go interrogates the tool for its flag set so it can
+			// validate and forward `go vet -<analyzer>` style flags. This
+			// suite exposes per-analyzer enable flags (all default-on, as
+			// invariants should be).
+			printFlagsJSON(analyzers)
+			os.Exit(0)
+		case arg == "help" || arg == "-help" || arg == "--help" || arg == "-h":
+			printHelp(analyzers)
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		case strings.HasPrefix(arg, "-"):
+			// Tolerate analyzer enable/disable flags cmd/go may forward
+			// (e.g. -unreachable=false under `go test`); this suite has no
+			// per-analyzer toggles — invariants are not optional.
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+
+	if cfgFile != "" {
+		os.Exit(runUnitchecker(cfgFile, analyzers))
+	}
+	os.Exit(runStandalone(patterns, analyzers))
+}
+
+// selfID hashes the running binary so cmd/go's build cache invalidates
+// vet results whenever the tool is rebuilt.
+func selfID() string {
+	h := fnv.New64a()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// printFlagsJSON emits the flag-definition array cmd/go's `go vet
+// -vettool` handshake expects on `tool -flags`.
+func printFlagsJSON(analyzers []*Analyzer) {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	defs := make([]flagDef, 0, len(analyzers))
+	for _, a := range analyzers {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analysis (default, and recommended: always on)"})
+	}
+	out, err := json.Marshal(defs)
+	if err != nil {
+		out = []byte("[]")
+	}
+	fmt.Println(string(out))
+}
+
+func printHelp(analyzers []*Analyzer) {
+	fmt.Println("subdexvet: SubDEx project-invariant analyzers")
+	fmt.Println()
+	fmt.Println("usage: subdexvet [packages]                  (standalone)")
+	fmt.Println("       go vet -vettool=$(which subdexvet) ./...")
+	fmt.Println()
+	for _, a := range analyzers {
+		fmt.Printf("%s:\n%s\n\n", a.Name, strings.TrimSpace(a.Doc))
+	}
+}
+
+// runStandalone analyzes the pattern-matched packages of the module in
+// the current directory. Findings go to stderr; the exit code is 2 when
+// there are findings, 1 on load errors, 0 when clean (the same contract
+// as x/tools' checkers).
+func runStandalone(patterns []string, analyzers []*Analyzer) int {
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subdexvet:", err)
+		return 1
+	}
+	store := make(FactStore)
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := Analyze(pkg, analyzers, store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "subdexvet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// runUnitchecker handles one cmd/go vet invocation: parse the vet.cfg,
+// type-check the package against the export data cmd/go already built,
+// run the analyzers with facts imported from dependency vetx files, and
+// write this package's facts to VetxOutput for dependents.
+func runUnitchecker(cfgFile string, analyzers []*Analyzer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subdexvet:", err)
+		return 1
+	}
+
+	pkg, err := loadFromVetConfig(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go sets this for packages it knows won't type-check under
+			// a unit checker (see golang/go#18395); stay silent and green.
+			writeVetx(cfg, make(FactStore))
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "subdexvet:", err)
+		return 1
+	}
+
+	store := importVetxFacts(cfg)
+	diags, err := Analyze(pkg, analyzers, store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subdexvet:", err)
+		return 1
+	}
+	writeVetx(cfg, store)
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// loadFromVetConfig parses and type-checks the vet.cfg's package.
+// Imports resolve through ImportMap into the PackageFile export-data
+// map, exactly as the compiler resolved them.
+func loadFromVetConfig(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer:  importMapper{imp: imp, importMap: cfg.ImportMap},
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	path := CanonicalPath(cfg.ImportPath)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// importVetxFacts merges the fact stores of dependency packages (the
+// vetx files cmd/go recorded from their earlier vet runs). Missing or
+// malformed files are skipped: facts are an enhancement, not a
+// correctness dependency, and cmd/go only guarantees them along import
+// edges it chose to vet.
+func importVetxFacts(cfg *vetConfig) FactStore {
+	store := make(FactStore)
+	for _, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		var dep FactStore
+		if json.Unmarshal(data, &dep) != nil {
+			continue
+		}
+		store.Merge(dep)
+	}
+	return store
+}
+
+// writeVetx persists the fact store for dependent packages. cmd/go
+// treats a missing vetx file as "nothing cached", so failures degrade
+// performance, never correctness.
+func writeVetx(cfg *vetConfig, store FactStore) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	data, err := json.Marshal(store)
+	if err != nil {
+		data = []byte("{}")
+	}
+	_ = os.WriteFile(cfg.VetxOutput, data, 0o666)
+}

@@ -1,0 +1,12 @@
+package lockblock_test
+
+import (
+	"testing"
+
+	"subdex/internal/analysis/analysistest"
+	"subdex/internal/analysis/lockblock"
+)
+
+func TestLockBlock(t *testing.T) {
+	analysistest.Run(t, "testdata", lockblock.Analyzer, "lb")
+}

@@ -1,0 +1,118 @@
+// Package lb exercises lockblock: blocking operations under held
+// mutexes are flagged; the same operations outside the critical
+// section, in goroutines, or after an early unlock are not.
+package lb
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Store is a guarded structure.
+type Store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// Good keeps the critical section CPU-bound and sleeps after Unlock.
+func (s *Store) Good() {
+	s.mu.Lock()
+	s.data["k"]++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // no want: lock released
+}
+
+// SleepUnderLock blocks with the lock held via defer Unlock.
+func (s *Store) SleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+}
+
+// ChannelOps sends and receives while holding the lock.
+func (s *Store) ChannelOps(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 1   // want `channel send while s.mu is held`
+	v := <-ch // want `channel receive while s.mu is held`
+	_ = v
+}
+
+// WaitUnderRLock parks on a WaitGroup inside an RLock section.
+func (s *Store) WaitUnderRLock(wg *sync.WaitGroup) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	wg.Wait() // want `sync.WaitGroup.Wait while s.rw is held`
+}
+
+// SelectBlocking has no default clause: it parks.
+func (s *Store) SelectBlocking(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s.mu is held`
+	case <-ch:
+	}
+}
+
+// SelectNonBlocking polls with a default clause: accepted.
+func (s *Store) SelectNonBlocking(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// HTTPUnderLock issues a network request inside the critical section.
+func (s *Store) HTTPUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = http.Get("http://example.invalid/") // want `net/http.Get call while s.mu is held`
+}
+
+// WriteUnderLock writes the response while holding the lock — the write
+// blocks on the client's receive window.
+func (s *Store) WriteUnderLock(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = w.Write([]byte("ok")) // want `http.ResponseWriter.Write`
+}
+
+// EarlyUnlock releases before blocking: accepted.
+func (s *Store) EarlyUnlock(ch chan int) {
+	s.mu.Lock()
+	s.data["k"]++
+	s.mu.Unlock()
+	ch <- s.data["k"] // no want: lock released above
+}
+
+// TryLockBranch: the success branch of TryLock is a critical section.
+func (s *Store) TryLockBranch() {
+	if s.mu.TryLock() {
+		time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+		s.mu.Unlock()
+	}
+}
+
+// SpawnedGoroutine runs outside the critical section: its body is
+// scanned with a clean slate.
+func (s *Store) SpawnedGoroutine(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		ch <- 1 // no want: goroutine body runs outside the lock
+	}()
+}
+
+// LocalMutex covers plain identifiers as lock keys.
+func LocalMutex(ch chan int) {
+	var mu sync.Mutex
+	mu.Lock()
+	<-ch // want `channel receive while mu is held`
+	mu.Unlock()
+}

@@ -1,0 +1,290 @@
+// Package obsmetrics enforces SubDEx's metric-registry discipline on
+// every call to (*obs.Registry).Counter / Gauge / Histogram:
+//
+//  1. The metric name is a compile-time string constant matching
+//     ^subdex_[a-z0-9_]+$ — names must be greppable and collision-free
+//     across the fleet's dashboards.
+//  2. The name carries the canonical unit suffix for its kind: counters
+//     end in _total; histograms end in a base unit (_seconds, _bytes,
+//     _ratio, _records); gauges must not end in _total (they are not
+//     monotone).
+//  3. The same name is never registered twice with different help text
+//     or a different label-key set — Prometheus scrapes would otherwise
+//     see one series family with contradictory metadata. The check uses
+//     package facts, so a re-registration in a *different* package is
+//     caught too (obs.Registry itself enforces only kind mismatches at
+//     runtime; see internal/obs.Registry).
+//  4. Registration calls appear only in constructor-shaped functions
+//     (New*/new*/init): PR 1 shipped — and review had to catch — a
+//     per-request reg.Histogram lookup in the HTTP middleware hot path,
+//     a mutex acquisition per request that the registry's own doc
+//     comment forbids. Resolve instruments once, then hammer them.
+//
+// Test files are exempt, as is the obs package itself (it defines the
+// API).
+package obsmetrics
+
+import (
+	"encoding/json"
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"subdex/internal/analysis/framework"
+)
+
+// Analyzer is the obsmetrics check.
+var Analyzer = &framework.Analyzer{
+	Name:      "obsmetrics",
+	Doc:       "enforce metric naming, unit suffixes, single registration, and constructor-only registry lookups",
+	Run:       run,
+	UsesFacts: true,
+}
+
+// obsPkgSuffix identifies the registry's package; suffix matching lets
+// test fixtures provide a stand-in "obs" package.
+const obsPkgSuffix = "internal/obs"
+
+// nameRx is the mandatory shape of a SubDEx metric name.
+var nameRx = regexp.MustCompile(`^subdex_[a-z0-9_]+$`)
+
+// histogramUnits are the accepted base-unit suffixes for histograms.
+var histogramUnits = []string{"_seconds", "_bytes", "_ratio", "_records"}
+
+// registration is one metric's first-seen metadata, compared against
+// every later registration of the same name.
+type registration struct {
+	Kind   string   `json:"kind"`
+	Help   string   `json:"help"`
+	Labels []string `json:"labels"` // sorted label keys; nil = not statically known
+	Pos    string   `json:"pos"`    // "file:line" of the first registration
+}
+
+// fact is the package fact: every metric the package registers.
+type fact struct {
+	Metrics map[string]registration `json:"metrics"`
+}
+
+func run(pass *framework.Pass) error {
+	if isObsPackage(pass.Path()) {
+		return nil
+	}
+
+	// Seed the registry view with facts from already-analyzed packages so
+	// cross-package duplicates are diagnosed at the later site.
+	seen := make(map[string]registration)
+	for _, pf := range pass.ImportedFacts() {
+		var f fact
+		if err := json.Unmarshal(pf.Fact, &f); err != nil {
+			continue
+		}
+		for name, reg := range f.Metrics {
+			if _, ok := seen[name]; !ok {
+				seen[name] = reg
+			}
+		}
+	}
+	local := fact{Metrics: make(map[string]registration)}
+
+	framework.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := registryCallKind(pass, call)
+		if !ok {
+			return true
+		}
+		if framework.IsTestFile(pass.Fset, call.Pos()) {
+			return true
+		}
+
+		checkConstructorContext(pass, call, stack)
+
+		name, ok := framework.ConstString(pass.TypesInfo, call.Args[0])
+		if !ok {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name must be a string literal or constant (dynamic names defeat dashboards and the duplicate-registration check)")
+			return true
+		}
+		checkName(pass, call, kind, name)
+		checkDuplicate(pass, call, kind, name, seen, local.Metrics)
+		return true
+	})
+
+	return pass.ExportFact(local)
+}
+
+// isObsPackage reports whether path is the obs package itself.
+func isObsPackage(path string) bool {
+	return framework.PathHasSuffix(path, obsPkgSuffix) || path == "obs"
+}
+
+// registryCallKind reports whether call is a registration on
+// obs.Registry and which instrument kind it creates.
+func registryCallKind(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	method := sel.Sel.Name
+	if method != "Counter" && method != "Gauge" && method != "Histogram" {
+		return "", false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	recv := selection.Recv()
+	if !framework.NamedTypeIn(recv, obsPkgSuffix, "Registry") && !framework.NamedTypeIn(recv, "obs", "Registry") {
+		return "", false
+	}
+	if len(call.Args) < 2 {
+		return "", false
+	}
+	return strings.ToLower(method), true
+}
+
+// checkConstructorContext enforces rule 4: the (topmost) named function
+// around the call must be constructor-shaped.
+func checkConstructorContext(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node) {
+	name := framework.EnclosingFuncName(stack)
+	if name == "" {
+		// Package-level var initializer: resolved once at init time, which
+		// is exactly the discipline.
+		return
+	}
+	if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"registry lookup in %s: instruments must be resolved in a constructor (New*/new*/init) and stored, not looked up on the hot path (each lookup takes the registry mutex)", name)
+}
+
+// checkName enforces rules 1–2.
+func checkName(pass *framework.Pass, call *ast.CallExpr, kind, name string) {
+	if !nameRx.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name %q is not of the form subdex_[a-z0-9_]+", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Args[0].Pos(),
+				"counter %q must end in _total (Prometheus counter convention)", name)
+		}
+	case "histogram":
+		ok := false
+		for _, u := range histogramUnits {
+			if strings.HasSuffix(name, u) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(call.Args[0].Pos(),
+				"histogram %q must end in a base-unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Args[0].Pos(),
+				"gauge %q must not end in _total (gauges are not monotone)", name)
+		}
+	}
+}
+
+// checkDuplicate enforces rule 3 against both imported facts and
+// earlier registrations in this package.
+func checkDuplicate(pass *framework.Pass, call *ast.CallExpr, kind, name string, seen, local map[string]registration) {
+	help, helpConst := framework.ConstString(pass.TypesInfo, call.Args[1])
+	labels, labelsKnown := labelKeys(pass, call, kind)
+
+	reg := registration{
+		Kind: kind,
+		Pos:  pass.Fset.Position(call.Pos()).String(),
+	}
+	if helpConst {
+		reg.Help = help
+	}
+	if labelsKnown {
+		reg.Labels = labels
+	}
+
+	for _, prev := range [2]map[string]registration{local, seen} {
+		p, ok := prev[name]
+		if !ok {
+			continue
+		}
+		if p.Kind != kind {
+			pass.Reportf(call.Pos(),
+				"metric %q re-registered as %s (was %s at %s)", name, kind, p.Kind, p.Pos)
+		} else if helpConst && p.Help != "" && p.Help != reg.Help {
+			pass.Reportf(call.Pos(),
+				"metric %q re-registered with different help text (was %q at %s)", name, p.Help, p.Pos)
+		} else if labelsKnown && p.Labels != nil && !equalStrings(p.Labels, reg.Labels) {
+			pass.Reportf(call.Pos(),
+				"metric %q re-registered with label keys [%s] (was [%s] at %s)",
+				name, strings.Join(reg.Labels, " "), strings.Join(p.Labels, " "), p.Pos)
+		}
+		return
+	}
+	local[name] = reg
+}
+
+// labelKeys extracts the constant label keys of a registration call's
+// variadic obs.L("key", value) / obs.Label{Key: "key"} arguments, in
+// source order. The second result is false when any label is not
+// statically resolvable (a slice spread, a computed key, …).
+func labelKeys(pass *framework.Pass, call *ast.CallExpr, kind string) ([]string, bool) {
+	first := 2 // name, help
+	if kind == "histogram" {
+		first = 3 // name, help, bounds
+	}
+	if call.Ellipsis.IsValid() {
+		return nil, false // labels... spread: not statically known
+	}
+	keys := []string{}
+	for _, arg := range call.Args[first:] {
+		key, ok := labelKey(pass, arg)
+		if !ok {
+			return nil, false
+		}
+		keys = append(keys, key)
+	}
+	return keys, true
+}
+
+func labelKey(pass *framework.Pass, arg ast.Expr) (string, bool) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CallExpr: // obs.L("key", v)
+		if fn := framework.CalleeFunc(pass.TypesInfo, e); fn != nil && fn.Name() == "L" && len(e.Args) == 2 {
+			return framework.ConstString(pass.TypesInfo, e.Args[0])
+		}
+	case *ast.CompositeLit: // obs.Label{Key: "key", Value: v} or positional
+		for i, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Key" {
+					return framework.ConstString(pass.TypesInfo, kv.Value)
+				}
+				continue
+			}
+			if i == 0 { // positional: Key first
+				return framework.ConstString(pass.TypesInfo, elt)
+			}
+		}
+	}
+	return "", false
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

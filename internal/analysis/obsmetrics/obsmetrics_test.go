@@ -1,0 +1,14 @@
+package obsmetrics_test
+
+import (
+	"testing"
+
+	"subdex/internal/analysis/analysistest"
+	"subdex/internal/analysis/obsmetrics"
+)
+
+func TestObsMetrics(t *testing.T) {
+	// Order matters: package a's facts must be exported before package b
+	// re-registers one of its metrics.
+	analysistest.Run(t, "testdata", obsmetrics.Analyzer, "a", "b")
+}

@@ -1,0 +1,64 @@
+// Package a exercises every obsmetrics rule: accepted constructor-time
+// registrations, each naming violation, hot-path lookups, and in-package
+// duplicate registrations.
+package a
+
+import "obs"
+
+// Metrics holds instruments resolved once at construction — the
+// discipline the analyzer enforces.
+type Metrics struct {
+	steps   *obs.Counter
+	depth   *obs.Gauge
+	latency *obs.Histogram
+}
+
+// NewMetrics registers everything up front: all accepted.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		steps:   reg.Counter("subdex_engine_steps_total", "Engine steps executed.", obs.L("phase", "score")),
+		depth:   reg.Gauge("subdex_session_depth", "Current exploration depth."),
+		latency: reg.Histogram("subdex_step_duration_seconds", "Step latency.", nil, obs.L("phase", "score")),
+	}
+}
+
+// Package-level initializers resolve once at init time: accepted.
+var defaultReg = obs.NewRegistry()
+var started = defaultReg.Counter("subdex_process_starts_total", "Process starts.")
+
+var restarts *obs.Counter
+
+func init() {
+	restarts = defaultReg.Counter("subdex_process_restarts_total", "Process restarts.")
+}
+
+// newBad is constructor-shaped, so only the naming rules fire.
+func newBad(reg *obs.Registry) {
+	reg.Counter("http_requests_total", "h")     // want `not of the form subdex_`
+	reg.Counter("subdex_requests", "h")         // want `must end in _total`
+	reg.Gauge("subdex_queue_total", "h")        // want `must not end in _total`
+	reg.Histogram("subdex_step_time", "h", nil) // want `must end in a base-unit suffix`
+	name := dynamicName()
+	reg.Counter(name, "h") // want `must be a string literal or constant`
+}
+
+func dynamicName() string { return "subdex_oops_total" }
+
+// Observe is not a constructor: the lookup itself is the violation,
+// even though the name is impeccable.
+func (m *Metrics) Observe(reg *obs.Registry) {
+	reg.Counter("subdex_observe_calls_total", "Observe calls.").Inc() // want `registry lookup in Observe`
+}
+
+// newDup re-registers names with conflicting metadata.
+func newDup(reg *obs.Registry) {
+	reg.Counter("subdex_dup_total", "First help.", obs.L("route", "x"))
+	reg.Counter("subdex_dup_total", "Second help.", obs.L("route", "x")) // want `re-registered with different help text`
+	reg.Counter("subdex_dup_total", "First help.", obs.L("code", "200")) // want `re-registered with label keys`
+	reg.Gauge("subdex_cache_fill_ratio", "Cache fill fraction.")
+	reg.Histogram("subdex_cache_fill_ratio", "Cache fill fraction.", nil) // want `re-registered as histogram`
+	// Same name, same help, same label KEYS (values differ): accepted —
+	// that is exactly how label fan-out works.
+	reg.Counter("subdex_retries_total", "Retries.", obs.L("route", "a"))
+	reg.Counter("subdex_retries_total", "Retries.", obs.L("route", "b"))
+}

@@ -1,0 +1,9 @@
+package a
+
+import "obs"
+
+// Test files are exempt from every obsmetrics rule: tests may register
+// ad-hoc metrics on throwaway registries.
+func helperForTests(reg *obs.Registry) {
+	reg.Counter("totally_not_subdex", "scratch metric") // no want: test file
+}

@@ -1,0 +1,11 @@
+// Package b re-registers a metric that package a already owns, with
+// different help text — caught via package facts, proving the duplicate
+// check crosses package boundaries.
+package b
+
+import "obs"
+
+// NewB is constructor-shaped; only the cross-package duplicate fires.
+func NewB(reg *obs.Registry) {
+	reg.Counter("subdex_engine_steps_total", "Different help.", obs.L("phase", "score")) // want `re-registered with different help text`
+}

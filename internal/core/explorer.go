@@ -115,6 +115,12 @@ func (s *StepResult) TotalUtility() float64 {
 // RMSet solves Problem 1 for a description: generate the top k×l maps by DW
 // utility (pruned per config), then select the k most diverse with GMM.
 // The seen set is not mutated; callers commit displayed maps explicitly.
+//
+// RMSet is an XCtx compatibility shim: a context-free wrapper F that
+// delegates to FCtx with context.Background(), keeping the pre-context
+// API alive. Shims like this (RMSet, Session.Step,
+// engine.Generator.TopMaps) are the only non-main, non-test call sites
+// where the ctxflow analyzer permits minting a root context.
 func (ex *Explorer) RMSet(desc query.Description, seen *ratingmap.SeenSet) (*StepResult, error) {
 	return ex.RMSetCtx(context.Background(), desc, seen)
 }

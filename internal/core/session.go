@@ -62,6 +62,12 @@ func (s *Session) NumSteps() int { return len(s.steps) }
 // added to the seen set *before* recommendations are evaluated, matching
 // the paper's ordering (an operation's utility depends on the maps "seen by
 // the user up to this step").
+//
+// Step is an XCtx compatibility shim: a context-free wrapper F that
+// delegates to FCtx with context.Background(), keeping the pre-context
+// API alive. Shims like this (Step, engine.Generator.TopMaps,
+// Explorer.RMSet) are the only non-main, non-test call sites where the
+// ctxflow analyzer permits minting a root context.
 func (s *Session) Step() (*StepResult, error) {
 	return s.StepCtx(context.Background())
 }

@@ -162,6 +162,12 @@ func (g *Generator) Candidates(qe *query.Engine, desc query.Description) []ratin
 // TopMaps runs Algorithm 1: it returns w.h.p. the kPrime = k×l candidates
 // with the highest DW utilities over the group's records, ranked by exact
 // utility, pruning low-utility candidates at phase boundaries.
+//
+// TopMaps is an XCtx compatibility shim: a context-free wrapper F that
+// delegates to FCtx with context.Background(), keeping the pre-context
+// API alive. Shims like this (TopMaps, core.Session.Step,
+// core.Explorer.RMSet) are the only non-main, non-test call sites where
+// the ctxflow analyzer permits minting a root context.
 func (g *Generator) TopMaps(group *query.RatingGroup, candidates []ratingmap.Key,
 	seen *ratingmap.SeenSet, kPrime int, cfg Config) (*Result, error) {
 	return g.TopMapsCtx(context.Background(), group, candidates, seen, kPrime, cfg)
@@ -336,6 +342,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 			}
 		}
 		if sar != nil {
+			//subdex:orderinsensitive SetMean writes are keyed by candidate index; no write touches another index's state
 			for idx, e := range est {
 				if _, ok := alive[idx]; ok {
 					if err := sar.SetMean(idx, e.dwMean); err != nil {
@@ -520,8 +527,19 @@ func ciPrune(est map[int]estimateEntry, processed, total, kPrime int, delta floa
 			accepted[id] = true
 		}
 	}
+	// Iterate candidates in sorted index order and break ranking ties by
+	// index: bounds built straight off the map range fed an *unstable*
+	// sort, so candidates with equal upper bounds straddling the k'
+	// cutoff made the pruned set depend on map iteration order — a
+	// nondeterminism the detorder analyzer now rejects statically.
+	idxs := make([]int, 0, len(est))
+	for idx := range est {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
 	bounds := make([]bound, 0, len(est))
-	for idx, e := range est {
+	for _, idx := range idxs {
+		e := est[idx]
 		lo, hi := -1.0, -1.0
 		for _, s := range e.scores {
 			l := stats.Clamp(s-radius, 0, 1)
@@ -535,7 +553,12 @@ func ciPrune(est map[int]estimateEntry, processed, total, kPrime int, delta floa
 		}
 		bounds = append(bounds, bound{idx: idx, lo: lo * e.weight, hi: hi * e.weight})
 	}
-	sort.Slice(bounds, func(i, j int) bool { return bounds[i].hi > bounds[j].hi })
+	sort.Slice(bounds, func(i, j int) bool {
+		if bounds[i].hi != bounds[j].hi {
+			return bounds[i].hi > bounds[j].hi
+		}
+		return bounds[i].idx < bounds[j].idx
+	})
 	lowest := bounds[0].lo
 	for _, b := range bounds[1:min(kPrime, len(bounds))] {
 		if b.lo < lowest {

@@ -188,20 +188,78 @@ subdex_demo_total{kind="b"} 1
 
 func TestRegistryReuseAndMismatch(t *testing.T) {
 	r := NewRegistry()
-	a := r.Counter("x_total", "h")
-	b := r.Counter("x_total", "h")
+	a := r.Counter("x_total", "h", L("k", "v1"))
+	b := r.Counter("x_total", "h", L("k", "v1"))
 	if a != b {
 		t.Fatal("same (name,labels) must return the same counter")
 	}
-	if r.Counter("x_total", "h", L("k", "v")) == a {
-		t.Fatal("different labels must be a different series")
+	if r.Counter("x_total", "h", L("k", "v2")) == a {
+		t.Fatal("different label values must be a different series")
 	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("kind mismatch must panic")
 		}
 	}()
-	r.Gauge("x_total", "h")
+	r.Gauge("x_total", "h", L("k", "v3"))
+}
+
+// TestRegistryMetadataContract pins the per-name registration contract:
+// the first registration fixes (kind, help, label-key set) and any later
+// registration that disagrees panics, while label-VALUE fan-out over the
+// same keys is the supported pattern. This is the runtime twin of the
+// obsmetrics analyzer's duplicate-registration rule — the two must not
+// drift apart.
+func TestRegistryMetadataContract(t *testing.T) {
+	mustPanic := func(t *testing.T, substr string, f func()) {
+		t.Helper()
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatalf("expected panic containing %q", substr)
+			}
+			if s, _ := p.(string); !strings.Contains(s, substr) {
+				t.Fatalf("panic %v does not mention %q", p, substr)
+			}
+		}()
+		f()
+	}
+
+	t.Run("help mismatch panics", func(t *testing.T) {
+		r := NewRegistry()
+		r.Counter("subdex_x_total", "first help", L("route", "a"))
+		mustPanic(t, "different help", func() {
+			r.Counter("subdex_x_total", "second help", L("route", "a"))
+		})
+	})
+	t.Run("label key mismatch panics", func(t *testing.T) {
+		r := NewRegistry()
+		r.Counter("subdex_x_total", "h", L("route", "a"))
+		mustPanic(t, "different label keys", func() {
+			r.Counter("subdex_x_total", "h", L("code", "200"))
+		})
+	})
+	t.Run("kind mismatch panics across label values", func(t *testing.T) {
+		r := NewRegistry()
+		r.Counter("subdex_x_total", "h", L("route", "a"))
+		mustPanic(t, "re-registered as", func() {
+			r.Gauge("subdex_x_total", "h", L("route", "b"))
+		})
+	})
+	t.Run("label value fan-out is fine", func(t *testing.T) {
+		r := NewRegistry()
+		a := r.Counter("subdex_x_total", "h", L("route", "a"))
+		b := r.Counter("subdex_x_total", "h", L("route", "b"))
+		if a == b {
+			t.Fatal("distinct label values must yield distinct series")
+		}
+		// Key ORDER is irrelevant: the signature is sorted.
+		c1 := r.Counter("subdex_y_total", "h", L("route", "a"), L("code", "200"))
+		c2 := r.Counter("subdex_y_total", "h", L("code", "201"), L("route", "b"))
+		if c1 == nil || c2 == nil {
+			t.Fatal("reordered label keys must register cleanly")
+		}
+	})
 }
 
 func TestLogBuckets(t *testing.T) {

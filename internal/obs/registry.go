@@ -216,11 +216,37 @@ type series struct {
 type Registry struct {
 	mu     sync.Mutex
 	series map[string]*series
+	meta   map[string]seriesMeta
+}
+
+// seriesMeta is the per-NAME contract fixed at first registration: every
+// later registration of the same name must agree on kind, help text, and
+// label-key set, whatever its label values. This is the runtime twin of
+// the obsmetrics analyzer's duplicate-registration rule — the analyzer
+// catches mismatches at vet time, the registry rejects whatever slips
+// past it (reflection, generated code, tests).
+type seriesMeta struct {
+	kind metricKind
+	help string
+	keys string // label keys, sorted, "\x00"-joined
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{series: make(map[string]*series)}
+	return &Registry{series: make(map[string]*series), meta: make(map[string]seriesMeta)}
+}
+
+// labelKeySig renders the sorted label-key set as a comparison key.
+func labelKeySig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, len(labels))
+	for i, l := range labels {
+		keys[i] = l.Key
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x00")
 }
 
 // seriesID builds the registry key of a (name, labels) pair.
@@ -242,17 +268,41 @@ func seriesID(name string, labels []Label) string {
 // lookup returns the existing series or registers a new one. The
 // instrument itself is allocated here, while r.mu is held, so a series
 // is never published with a nil instrument and concurrent first-use of
-// the same (name, labels) resolves to one shared instrument. Kind
-// mismatches on the same (name, labels) are programmer errors and panic.
-// bounds is only consulted for kindHistogram.
+// the same (name, labels) resolves to one shared instrument.
+//
+// Re-registering a name with a different kind, different help text, or a
+// different label-key set is a programmer error and panics: one scrape
+// must never see one series family with contradictory metadata. (Label
+// VALUES may differ freely — that is label fan-out.) bounds is only
+// consulted for kindHistogram.
 func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels []Label) *series {
 	id := seriesID(name, labels)
+	keys := labelKeySig(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if s, ok := r.series[id]; ok {
-		if s.kind != kind {
-			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, s.kind))
+	if m, ok := r.meta[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
 		}
+		// An empty help string makes no metadata claim: it is the
+		// "fetch the existing instrument" spelling. The first non-empty
+		// help wins and later non-empty helps must agree — the same
+		// leniency the obsmetrics analyzer applies to non-constant help.
+		if help != "" && m.help != "" && m.help != help {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different help (%q, was %q)", name, help, m.help))
+		}
+		if m.keys != keys {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different label keys (%q, was %q)",
+				name, strings.ReplaceAll(keys, "\x00", ","), strings.ReplaceAll(m.keys, "\x00", ",")))
+		}
+		if m.help == "" && help != "" {
+			m.help = help
+			r.meta[name] = m
+		}
+	} else {
+		r.meta[name] = seriesMeta{kind: kind, help: help, keys: keys}
+	}
+	if s, ok := r.series[id]; ok {
 		return s
 	}
 	s := &series{name: name, labels: append([]Label(nil), labels...), kind: kind, help: help}

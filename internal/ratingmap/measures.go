@@ -431,6 +431,7 @@ func (s *SeenSet) Weights(numDims int) []float64 {
 func (s *SeenSet) Clone() *SeenSet {
 	c := NewSeenSet()
 	c.dists = append(c.dists, s.dists...)
+	//subdex:orderinsensitive keyed map copy: every write targets its own key, order cannot change the result
 	for d, n := range s.dimCount {
 		c.dimCount[d] = n
 	}

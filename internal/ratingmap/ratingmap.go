@@ -233,6 +233,7 @@ func attrKey(side query.Side, attr string) string {
 
 // Update feeds a batch of rating-record positions into every candidate map.
 func (a *Accumulator) Update(records []int32) {
+	//subdex:orderinsensitive each iteration mutates only its own attribute's partials; records are scanned in slice order within each, so attribute order cannot leak into any histogram or discovery order
 	for ak, ps := range a.byAttr {
 		side, attr := splitAttrKey(ak)
 		var t *dataset.EntityTable

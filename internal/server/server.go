@@ -63,6 +63,63 @@ type Options struct {
 	Clock func() time.Time
 }
 
+// routes are the handler paths served by Handler. The per-route HTTP
+// instruments are pre-registered over this list at construction, so the
+// request hot path never performs a registry lookup (each lookup takes
+// the registry mutex — the finding subdexvet's obsmetrics analyzer
+// exists to catch).
+var routes = []string{
+	"/healthz", "/sessions", "/sessions/{id}", "/metrics", "/debug/spans", "/debug/cache",
+}
+
+// statusCodes are the response codes this server emits; one counter
+// series per route×code is pre-registered. Codes outside this set (none
+// today) fall back to the route's code="other" series, so the hot path
+// stays registration-free no matter what a handler writes.
+var statusCodes = []int{200, 201, 400, 404, 405, 409, 413, 429, 500, 504}
+
+// routeInstruments bundles one route's pre-resolved HTTP instruments.
+// The zero value is usable and inert: nil obs instruments are no-ops.
+type routeInstruments struct {
+	latency *obs.Histogram
+	byCode  map[int]*obs.Counter
+	other   *obs.Counter
+}
+
+// newRouteInstruments resolves one route's instruments against the
+// registry. All registry lookups for the HTTP surface happen here, at
+// construction time.
+func newRouteInstruments(reg *obs.Registry, route string) *routeInstruments {
+	const (
+		latencyName = "subdex_http_request_duration_seconds"
+		latencyHelp = "HTTP request latency by route."
+		totalName   = "subdex_http_requests_total"
+		totalHelp   = "HTTP requests by route and status code."
+	)
+	ri := &routeInstruments{
+		latency: reg.Histogram(latencyName, latencyHelp, nil, obs.L("route", route)),
+		byCode:  make(map[int]*obs.Counter, len(statusCodes)),
+		other:   reg.Counter(totalName, totalHelp, obs.L("route", route), obs.L("code", "other")),
+	}
+	for _, code := range statusCodes {
+		ri.byCode[code] = reg.Counter(totalName, totalHelp,
+			obs.L("route", route), obs.L("code", strconv.Itoa(code)))
+	}
+	return ri
+}
+
+// observe records one finished request: latency plus the status-code
+// counter (the pre-registered series, or "other" for a code outside
+// statusCodes).
+func (ri *routeInstruments) observe(d time.Duration, code int) {
+	ri.latency.ObserveDuration(d)
+	c, ok := ri.byCode[code]
+	if !ok {
+		c = ri.other
+	}
+	c.Inc()
+}
+
 // sessionEntry wraps one live session with its own lock: all computation
 // on a session (step, apply, summary, vega) serializes on entry.mu, so a
 // slow step on one session never blocks the rest of the server. The
@@ -90,6 +147,7 @@ type Server struct {
 	admissionRejected *obs.Counter
 	busyRejected      *obs.Counter
 	stepTimeouts      *obs.Counter
+	routeIns          map[string]*routeInstruments
 
 	mu       sync.Mutex
 	sessions map[int]*sessionEntry
@@ -139,8 +197,12 @@ func NewWithOptions(db *dataset.DB, cfg core.Config, opts Options) (*Server, err
 		stepTimeouts: reg.Counter("subdex_step_timeouts_total",
 			"Steps aborted by their deadline before any phase boundary (504s)."),
 		sessions: make(map[int]*sessionEntry),
+		routeIns: make(map[string]*routeInstruments, len(routes)),
 		nextID:   1,
 		stop:     make(chan struct{}),
+	}
+	for _, route := range routes {
+		s.routeIns[route] = newRouteInstruments(reg, route)
 	}
 	if opts.SessionTTL > 0 {
 		go s.janitor()
@@ -243,8 +305,18 @@ func (w *statusWriter) WriteHeader(code int) {
 // instrument wraps a handler with the observability middleware: an
 // in-flight gauge, a per-route latency histogram, a per-route/status
 // request counter, and a root span (collected into the /debug/spans
-// ring) covering the whole request.
+// ring) covering the whole request. The histogram and counters are
+// resolved once at construction (see newRouteInstruments), so the
+// request hot path never takes the registry lock or re-hashes label
+// sets — it only observes pre-bound instruments.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	ri := s.routeIns[route]
+	if ri == nil {
+		// A route outside the static table (tests wire ad-hoc handlers):
+		// resolve its instruments now — instrument() runs at mux
+		// construction time, never per request.
+		ri = newRouteInstruments(s.reg, route)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.httpInFlight.Inc()
 		start := time.Now()
@@ -265,12 +337,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			span.SetAttr("status", sw.status)
 			span.SetAttr("path", r.URL.Path)
 			span.End()
-			s.reg.Histogram("subdex_http_request_duration_seconds",
-				"HTTP request latency by route.", nil, obs.L("route", route)).
-				ObserveDuration(time.Since(start))
-			s.reg.Counter("subdex_http_requests_total",
-				"HTTP requests by route and status code.",
-				obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
+			ri.observe(time.Since(start), sw.status)
 		}()
 		h(sw, r.WithContext(ctx))
 	}
@@ -472,35 +539,46 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleVega serves the Vega-Lite specification of one displayed map of the
-// session's latest step (1-based index). It takes the session's own lock
-// (never the server-global one), so it waits only for work on this session.
+// session's latest step (1-based index). The spec is computed under the
+// session's own lock (never the server-global one) in vegaSpec; the
+// response is written only after that lock is released, so a slow or
+// stalled client can never hold the session hostage.
 func (s *Server) handleVega(w http.ResponseWriter, e *sessionEntry, idx string) {
 	n, err := strconv.Atoi(idx)
 	if err != nil || n < 1 {
 		writeError(w, http.StatusBadRequest, "bad map index")
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	steps := e.sess.Steps()
-	if len(steps) == 0 {
-		writeError(w, http.StatusConflict, "no step executed yet")
-		return
-	}
-	last := steps[len(steps)-1]
-	if n > len(last.Maps) {
-		writeError(w, http.StatusNotFound, "map index out of range")
-		return
-	}
-	rm := last.Maps[n-1]
-	spec, err := rm.VegaLiteSpec(s.ex.DictFor(rm))
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+	spec, status, errMsg := s.vegaSpec(e, n)
+	if errMsg != "" {
+		writeError(w, status, errMsg)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(spec)
+}
+
+// vegaSpec computes the Vega-Lite spec for the n-th map of the session's
+// latest step under the session lock. It performs no network writes while
+// holding the lock (the lockblock analyzer enforces this discipline).
+func (s *Server) vegaSpec(e *sessionEntry, n int) (spec []byte, status int, errMsg string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	steps := e.sess.Steps()
+	if len(steps) == 0 {
+		return nil, http.StatusConflict, "no step executed yet"
+	}
+	last := steps[len(steps)-1]
+	if n > len(last.Maps) {
+		return nil, http.StatusNotFound, "map index out of range"
+	}
+	rm := last.Maps[n-1]
+	spec, err := rm.VegaLiteSpec(s.ex.DictFor(rm))
+	if err != nil {
+		return nil, http.StatusInternalServerError, err.Error()
+	}
+	return spec, http.StatusOK, ""
 }
 
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, e *sessionEntry) {
