@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"subdex/internal/core"
+	"subdex/internal/workload"
+)
+
+func TestParseSessionMode(t *testing.T) {
+	for token, want := range map[string]core.Mode{
+		"ud": core.UserDriven, "rp": core.RecommendationPowered, "fa": core.FullyAutomated,
+	} {
+		got, err := parseSessionMode(token)
+		if err != nil || got != want {
+			t.Errorf("parseSessionMode(%q) = %v, %v", token, got, err)
+		}
+	}
+	if _, err := parseSessionMode("nope"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestAssertSLOs(t *testing.T) {
+	rep := &benchReport{Steps: 10, P95Ms: 50, P99Ms: 90, ErrRate: 0.1, DegradedRate: 0.2}
+	checks, pass := assertSLOs(options{sloMinSteps: 1, sloP95: 100 * time.Millisecond,
+		sloErrRate: -1, sloDegRate: -1}, rep)
+	if !pass || len(checks) != 2 {
+		t.Fatalf("lenient SLOs failed: pass=%v checks=%+v", pass, checks)
+	}
+	checks, pass = assertSLOs(options{sloMinSteps: 1, sloP99: 50 * time.Millisecond,
+		sloErrRate: 0, sloDegRate: -1}, rep)
+	if pass {
+		t.Fatalf("strict SLOs passed: %+v", checks)
+	}
+	if got := describeBreaches(checks); got == "" {
+		t.Error("describeBreaches empty for failing checks")
+	}
+	// A zero error-rate limit must still be an active check.
+	found := false
+	for _, c := range checks {
+		if c.Name == "error_rate" && !c.Pass {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("error_rate limit 0 not enforced: %+v", checks)
+	}
+}
+
+func TestFaultHook(t *testing.T) {
+	if faultHook(0, time.Millisecond) != nil {
+		t.Error("faultHook(0) should disable injection")
+	}
+	hook := faultHook(1, time.Millisecond)
+	if hook == nil {
+		t.Fatal("faultHook(1) returned nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	hook(ctx, 0) // cancelled context: returns without the full stall
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("hook ignored context cancellation (%v)", elapsed)
+	}
+}
+
+func TestReportRates(t *testing.T) {
+	res := &workload.Result{Steps: 8, Degraded: 2, Wall: time.Second}
+	res.Errors.Busy = 2
+	s, err := workload.ParseMetrics(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := report(options{generate: "demo", scale: 1, seed: 1, users: 4,
+		sloMinSteps: 1, sloErrRate: -1, sloDegRate: -1}, "inproc", res, s)
+	if rep.StepsPerS != 8 {
+		t.Errorf("throughput: want 8, got %v", rep.StepsPerS)
+	}
+	if rep.DegradedRate != 0.25 {
+		t.Errorf("degraded rate: want 0.25, got %v", rep.DegradedRate)
+	}
+	if rep.ErrRate != 0.2 { // 2 errors over 10 operations
+		t.Errorf("error rate: want 0.2, got %v", rep.ErrRate)
+	}
+	if !rep.SLOPass {
+		t.Errorf("min_steps should pass with 8 steps: %+v", rep.SLOChecks)
+	}
+}

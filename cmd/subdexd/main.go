@@ -49,7 +49,7 @@ import (
 func main() {
 	var (
 		data     = flag.String("data", "", "CSV directory written by datagen")
-		generate = flag.String("generate", "", "generate a synthetic dataset: movielens | yelp | hotels")
+		generate = flag.String("generate", "", "generate a synthetic dataset: demo | movielens | yelp | hotels")
 		scale    = flag.Float64("scale", 0.05, "scale for -generate")
 		seed     = flag.Int64("seed", 1, "seed for -generate")
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -167,6 +167,8 @@ func loadDB(data, generate string, scale float64, seed int64) (*subdex.DB, error
 	case generate != "":
 		cfg := gen.Config{Seed: seed, Scale: scale}
 		switch generate {
+		case "demo":
+			return gen.Demo(cfg)
 		case "movielens":
 			return gen.Movielens(cfg)
 		case "yelp":

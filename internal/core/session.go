@@ -187,13 +187,29 @@ func (s *Session) ApplyRecommendation(i int) error {
 // Auto runs a Fully-Automated exploration of m steps from the current
 // description, applying the top-1 recommendation after each step. It stops
 // early if no recommendation is available. It returns the executed steps.
+//
+// Auto is an XCtx compatibility shim: a context-free wrapper F that
+// delegates to FCtx with context.Background(), keeping the pre-context
+// API alive. Shims like this (Auto, Step, engine.Generator.TopMaps,
+// Explorer.RMSet) are the only non-main, non-test call sites where the
+// ctxflow analyzer permits minting a root context.
 func (s *Session) Auto(m int) ([]*StepResult, error) {
+	return s.AutoCtx(context.Background(), m)
+}
+
+// AutoCtx is Auto under a caller-supplied context: every step runs through
+// StepCtx, so the auto-pilot honors the caller's deadline and cancellation
+// (plus Config.StepTimeout per step) and emits the full span tree. On a
+// mid-walk cancellation it returns the steps completed so far together
+// with the step's error — an auto-pilot is a sequence of anytime steps,
+// so a prefix of the walk is always a valid partial result.
+func (s *Session) AutoCtx(ctx context.Context, m int) ([]*StepResult, error) {
 	if s.Mode == UserDriven {
 		return nil, fmt.Errorf("core: Auto requires a guided mode, session is %s", s.Mode)
 	}
 	var out []*StepResult
 	for i := 0; i < m; i++ {
-		res, err := s.Step()
+		res, err := s.StepCtx(ctx)
 		if err != nil {
 			return out, err
 		}

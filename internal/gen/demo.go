@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"subdex/internal/dataset"
+)
+
+// Demo generates the small café-review database used by the interactive
+// demo, the load harness's smoke workload, and the golden-trace regression
+// suite: ~400 reviewers, 24 cafés, ~3,000 rating records on 2 rating
+// dimensions (overall, value). It is deliberately tiny — every exploration
+// step costs well under a millisecond — so closed-loop simulated-user
+// populations (internal/workload, cmd/sdeload) can run thousands of steps
+// in a CI smoke job, while the schema still exercises both entity sides,
+// a multi-valued attribute, and multi-dimensional ratings.
+func Demo(cfg Config) (*dataset.DB, error) {
+	rng := rand.New(rand.NewSource(cfg.seed() + 300))
+	s := cfg.scale()
+
+	nU := scaleN(400, s, 40)
+	nI := scaleN(24, s, 8)
+	nR := scaleN(3_000, s, 300)
+
+	reviewerSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "age_group"},
+		dataset.Attribute{Name: "occupation"},
+		dataset.Attribute{Name: "visit_time"},
+	)
+	itemSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "roast", Kind: dataset.MultiValued},
+		dataset.Attribute{Name: "district"},
+		dataset.Attribute{Name: "price_range"},
+	)
+
+	ageGroups := []string{"young", "adult", "senior"}
+	occupations := []string{"student", "programmer", "teacher", "retired", "other"}
+	visitTimes := []string{"morning", "afternoon", "evening"}
+
+	roasts := []string{"light", "medium", "dark", "decaf"}
+	districts := []string{"old_town", "harbor", "campus", "uptown"}
+	priceRanges := []string{"$", "$$", "$$$"}
+
+	reviewers := dataset.NewEntityTable("reviewers", reviewerSchema)
+	for u := 0; u < nU; u++ {
+		if _, err := reviewers.AppendRow(fmt.Sprintf("u%d", u+1), map[string]string{
+			"age_group":  pickWeighted(rng, ageGroups, []float64{0.4, 0.45, 0.15}),
+			"occupation": pick(rng, occupations),
+			"visit_time": pickWeighted(rng, visitTimes, []float64{0.45, 0.3, 0.25}),
+		}, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	items := dataset.NewEntityTable("items", itemSchema)
+	for i := 0; i < nI; i++ {
+		nRoast := 1 + rng.Intn(2)
+		rs := make([]string, 0, nRoast)
+		seen := map[string]bool{}
+		for len(rs) < nRoast {
+			r := pick(rng, roasts)
+			if !seen[r] {
+				seen[r] = true
+				rs = append(rs, r)
+			}
+		}
+		if _, err := items.AppendRow(fmt.Sprintf("c%d", i+1), map[string]string{
+			"district":    pick(rng, districts),
+			"price_range": pickWeighted(rng, priceRanges, []float64{0.35, 0.45, 0.2}),
+		}, map[string][]string{"roast": rs}); err != nil {
+			return nil, err
+		}
+	}
+
+	ratings, err := dataset.NewRatingTable(
+		dataset.Dimension{Name: "overall", Scale: 5},
+		dataset.Dimension{Name: "value", Scale: 5},
+	)
+	if err != nil {
+		return nil, err
+	}
+	bias := newBiasModel(rand.New(rand.NewSource(cfg.seed()+37)), 0.6)
+	cfg.apply(bias)
+	if err := fillRatings(rng, bias, reviewers, items, ratings, nR, 1); err != nil {
+		return nil, err
+	}
+
+	db := dataset.NewDB("Demo", reviewers, items, ratings)
+	if err := db.Freeze(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Digest renders a byte-stable FNV-1a fingerprint of a frozen database's
+// generated content: the schema (attribute names and kinds), every
+// entity's attribute values in row order, the rating dimensions, and
+// every rating record's reviewer, item, and per-dimension scores. Two
+// databases digest equally iff the generator produced identical data, so
+// pinning the digest of each generator's default seed catches platform or
+// toolchain drift in math/rand or float handling before it can corrupt
+// the golden exploration traces built on top of the generated data.
+func Digest(db *dataset.DB) string {
+	h := fnv.New64a()
+	write := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+	}
+	write("db:%s\x00", db.Name)
+	for _, t := range []*dataset.EntityTable{db.Reviewers, db.Items} {
+		write("table:%s rows:%d\x00", t.Name, t.Len())
+		for a := 0; a < t.Schema.Len(); a++ {
+			attr := t.Schema.At(a)
+			write("attr:%s kind:%d\x00", attr.Name, attr.Kind)
+		}
+		for row := 0; row < t.Len(); row++ {
+			write("row:%d\x00", row)
+			for a := 0; a < t.Schema.Len(); a++ {
+				switch t.Schema.At(a).Kind {
+				case dataset.Atomic:
+					write("%d,", t.AtomicValue(a, row))
+				case dataset.MultiValued:
+					for _, v := range t.MultiValues(a, row) {
+						write("%d,", v)
+					}
+					write(";")
+				}
+			}
+		}
+	}
+	write("ratings:%d\x00", db.Ratings.Len())
+	for _, dim := range db.Ratings.Dimensions {
+		write("dim:%s scale:%d\x00", dim.Name, dim.Scale)
+	}
+	for r := 0; r < db.Ratings.Len(); r++ {
+		write("%d:%d", db.Ratings.Reviewer[r], db.Ratings.Item[r])
+		for d := range db.Ratings.Dimensions {
+			write(",%d", db.Ratings.Scores[d][r])
+		}
+		write(";")
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}

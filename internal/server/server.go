@@ -718,6 +718,12 @@ type MapJSON struct {
 	Utility   float64   `json:"utility"`
 	WonBy     string    `json:"won_by"` // winning interestingness criterion
 	Bars      []BarJSON `json:"bars"`
+	// Digest is the canonical byte-stable fingerprint of the rating map
+	// (ratingmap.Digest): two maps digest equally iff their accumulated
+	// counts are identical. The workload harness uses it to prove that an
+	// HTTP-driven session shows byte-identical displays to an in-process
+	// one, and golden-trace regression tests pin it across releases.
+	Digest string `json:"digest"`
 }
 
 // BarJSON is one subgroup bar.
@@ -767,6 +773,7 @@ func (s *Server) mapJSON(sess *core.Session, rm *ratingmap.RatingMap, utility fl
 		Dimension: rm.DimName,
 		Utility:   utility,
 		WonBy:     winner.String(),
+		Digest:    rm.Digest(),
 	}
 	dict := s.ex.DictFor(rm)
 	for i := range rm.Subgroups {

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"subdex/internal/server"
+)
+
+// HTTPClient drives one exploration session over the internal/server JSON
+// API — the live-wire arm of the workload harness. It normalizes the
+// server's StepJSON into the same StepView form the in-process client
+// produces, including the per-map content digests the server emits, so an
+// HTTP-driven walk is byte-comparable to an in-process one.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+	id   int
+}
+
+// NewHTTPClient creates a session via POST /sessions. base is the server
+// root (e.g. an httptest.Server URL), mode one of "ud", "rp", "fa", and
+// predicate the optional starting selection. A 429 admission rejection
+// surfaces as a *StatusError.
+func NewHTTPClient(ctx context.Context, base string, hc *http.Client, mode, predicate string) (*HTTPClient, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &HTTPClient{base: strings.TrimRight(base, "/"), hc: hc}
+	var created struct {
+		ID int `json:"id"`
+	}
+	err := c.do(ctx, http.MethodPost, "/sessions",
+		map[string]string{"mode": mode, "predicate": predicate}, &created)
+	if err != nil {
+		return nil, err
+	}
+	c.id = created.ID
+	return c, nil
+}
+
+// SessionID returns the server-assigned session id.
+func (c *HTTPClient) SessionID() int { return c.id }
+
+// Step implements Client.
+func (c *HTTPClient) Step(ctx context.Context) (*StepView, error) {
+	var sj server.StepJSON
+	if err := c.do(ctx, http.MethodGet, c.path("step"), nil, &sj); err != nil {
+		return nil, err
+	}
+	return viewFromJSON(&sj), nil
+}
+
+// Apply implements Client.
+func (c *HTTPClient) Apply(ctx context.Context, predicate string) error {
+	return c.do(ctx, http.MethodPost, c.path("apply"), map[string]any{"predicate": predicate}, nil)
+}
+
+// ApplyRecommendation implements Client. The wire index is 1-based.
+func (c *HTTPClient) ApplyRecommendation(ctx context.Context, i int) error {
+	return c.do(ctx, http.MethodPost, c.path("apply"), map[string]any{"recommendation": i + 1}, nil)
+}
+
+// Back implements Client. The server answers an empty history with 409;
+// that outcome maps to (false, nil), matching Session.Back.
+func (c *HTTPClient) Back(ctx context.Context) (bool, error) {
+	err := c.do(ctx, http.MethodPost, c.path("apply"), map[string]any{"back": true}, nil)
+	if se, ok := err.(*StatusError); ok && se.Code == http.StatusConflict &&
+		strings.Contains(se.Msg, "history empty") {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Auto implements Client by emulating Session.AutoCtx over the wire with
+// the exact same loop: step, stop after m steps or when no recommendation
+// is available, otherwise follow the top-1 recommendation. On a mid-walk
+// failure the completed prefix is returned together with the error.
+func (c *HTTPClient) Auto(ctx context.Context, m int) ([]*StepView, error) {
+	var out []*StepView
+	for i := 0; i < m; i++ {
+		sv, err := c.Step(ctx)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, sv)
+		if i == m-1 {
+			break
+		}
+		if len(sv.Recommendations) == 0 {
+			break
+		}
+		if err := c.ApplyRecommendation(ctx, 0); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Summary implements Client.
+func (c *HTTPClient) Summary(ctx context.Context) (*SummaryView, error) {
+	var sv SummaryView
+	if err := c.do(ctx, http.MethodGet, c.path("summary"), nil, &sv); err != nil {
+		return nil, err
+	}
+	if sv.MapsPerDimension == nil {
+		sv.MapsPerDimension = map[string]int{}
+	}
+	return &sv, nil
+}
+
+// Close implements Client by deleting the server-side session.
+func (c *HTTPClient) Close(ctx context.Context) error {
+	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/sessions/%d", c.id), nil, nil)
+}
+
+func (c *HTTPClient) path(action string) string {
+	return fmt.Sprintf("/sessions/%d/%s", c.id, action)
+}
+
+// do issues one request and decodes the JSON response into out (when
+// non-nil). Non-2xx responses return a *StatusError carrying the server's
+// error message.
+func (c *HTTPClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(payload, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(payload))
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(payload, out)
+}
+
+// viewFromJSON normalizes the server's step payload into the shared
+// StepView form, mirroring InprocClient.view field by field.
+func viewFromJSON(sj *server.StepJSON) *StepView {
+	sv := &StepView{
+		Selection:        sj.Selection,
+		GroupSize:        sj.GroupSize,
+		Degraded:         sj.Degraded,
+		RecordsProcessed: sj.RecordsProcessed,
+	}
+	for _, m := range sj.Maps {
+		mv := MapView{
+			GroupBy:   m.GroupBy,
+			Dimension: m.Dimension,
+			Utility:   m.Utility,
+			Digest:    m.Digest,
+		}
+		for _, b := range m.Bars {
+			mv.Bars = append(mv.Bars, b.Value)
+		}
+		sv.Maps = append(sv.Maps, mv)
+	}
+	for _, r := range sj.Recommendations {
+		sv.Recommendations = append(sv.Recommendations, RecView{
+			Operation: r.Operation,
+			Target:    r.Target,
+			Utility:   r.Utility,
+		})
+	}
+	return sv
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"subdex/internal/core"
+	"subdex/internal/obs"
+	"subdex/internal/server"
+)
+
+// scrapeRegistry registers representative instruments, drives them, and
+// round-trips through the Prometheus text encoding.
+func scrapeRegistry(t *testing.T) *Scrape {
+	t.Helper()
+	reg := obs.NewRegistry()
+	c := reg.Counter("subdex_test_events_total", "Test events.")
+	c.Add(7)
+	for _, code := range []string{"200", "409"} {
+		cc := reg.Counter("subdex_test_requests_total", "Test requests.", obs.L("code", code))
+		cc.Add(3)
+	}
+	g := reg.Gauge("subdex_test_in_flight_requests", "Test gauge.")
+	g.Set(2.5)
+	h := reg.Histogram("subdex_test_latency_seconds", "Test latency.",
+		[]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseMetrics(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	return s
+}
+
+// TestScrapeRoundTrip pins the scrape layer against the repo's own
+// exposition writer: values, labeled sums, and histogram structure all
+// survive the text round trip.
+func TestScrapeRoundTrip(t *testing.T) {
+	s := scrapeRegistry(t)
+	if got := s.Value("subdex_test_events_total", nil); got != 7 {
+		t.Errorf("counter: want 7, got %v", got)
+	}
+	if got := s.Sum("subdex_test_requests_total"); got != 6 {
+		t.Errorf("labeled sum: want 6, got %v", got)
+	}
+	if got := s.SumMatching("subdex_test_requests_total", "code", "409"); got != 3 {
+		t.Errorf("SumMatching 409: want 3, got %v", got)
+	}
+	if got := s.SumMatching("subdex_test_requests_total", "code", "504"); got != 0 {
+		t.Errorf("SumMatching absent code: want 0, got %v", got)
+	}
+	if got := s.Value("subdex_test_in_flight_requests", nil); got != 2.5 {
+		t.Errorf("gauge: want 2.5, got %v", got)
+	}
+	h := s.Histogram("subdex_test_latency_seconds")
+	if h == nil {
+		t.Fatal("histogram family missing")
+	}
+	if h.Count != 5 {
+		t.Errorf("histogram count: want 5, got %d", h.Count)
+	}
+	if want := 0.005 + 0.05 + 0.05 + 0.5 + 2; math.Abs(h.Sum-want) > 1e-9 {
+		t.Errorf("histogram sum: want %v, got %v", want, h.Sum)
+	}
+	wantBounds := []float64{0.01, 0.1, 1}
+	if len(h.Bounds) != len(wantBounds) {
+		t.Fatalf("bounds: want %v, got %v", wantBounds, h.Bounds)
+	}
+	for i, b := range wantBounds {
+		if h.Bounds[i] != b {
+			t.Fatalf("bounds: want %v, got %v", wantBounds, h.Bounds)
+		}
+	}
+	// Cumulative counts: ≤0.01:1, ≤0.1:3, ≤1:4, +Inf:5.
+	wantCounts := []int64{1, 3, 4, 5}
+	for i, c := range wantCounts {
+		if h.Counts[i] != c {
+			t.Fatalf("cumulative counts: want %v, got %v", wantCounts, h.Counts)
+		}
+	}
+}
+
+// TestQuantile pins the interpolation estimator on known buckets.
+func TestQuantile(t *testing.T) {
+	h := &HistogramSnapshot{
+		Bounds: []float64{0.1, 1},
+		Counts: []int64{5, 10, 10}, // 5 in (0,0.1], 5 in (0.1,1], none beyond
+		Count:  10,
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("p50: want 0.1, got %v", got)
+	}
+	// p90 = rank 9 → 4/5 into the (0.1,1] bucket: 0.1 + 0.9*0.8 = 0.82.
+	if got := h.Quantile(0.9); math.Abs(got-0.82) > 1e-12 {
+		t.Errorf("p90: want 0.82, got %v", got)
+	}
+	// Observations in +Inf clamp to the largest finite bound.
+	clamped := &HistogramSnapshot{Bounds: []float64{0.1}, Counts: []int64{0, 4}, Count: 4}
+	if got := clamped.Quantile(0.99); got != 0.1 {
+		t.Errorf("+Inf clamp: want 0.1, got %v", got)
+	}
+	var nilH *HistogramSnapshot
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram: want 0, got %v", got)
+	}
+}
+
+// TestScrapeDelta pins interval subtraction: counters and histograms
+// report the increase, gauges report the current value.
+func TestScrapeDelta(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("subdex_test_ops_total", "Ops.")
+	g := reg.Gauge("subdex_test_level", "Level.")
+	h := reg.Histogram("subdex_test_dur_seconds", "Durations.", []float64{1})
+	c.Add(10)
+	g.Set(4)
+	h.Observe(0.5)
+	snap := func() *Scrape {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s, err := ParseMetrics(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	before := snap()
+	c.Add(5)
+	g.Set(1)
+	h.Observe(0.25)
+	h.Observe(2)
+	d := snap().Delta(before)
+	if got := d.Value("subdex_test_ops_total", nil); got != 5 {
+		t.Errorf("counter delta: want 5, got %v", got)
+	}
+	if got := d.Value("subdex_test_level", nil); got != 1 {
+		t.Errorf("gauge after delta: want current value 1, got %v", got)
+	}
+	dh := d.Histogram("subdex_test_dur_seconds")
+	if dh == nil || dh.Count != 2 {
+		t.Fatalf("histogram delta count: want 2, got %+v", dh)
+	}
+	if want := 2.25; math.Abs(dh.Sum-want) > 1e-9 {
+		t.Errorf("histogram delta sum: want %v, got %v", want, dh.Sum)
+	}
+	if dh.Counts[0] != 1 { // only the 0.25 observation lands ≤1
+		t.Errorf("histogram delta bucket: want 1, got %d", dh.Counts[0])
+	}
+}
+
+// TestScrapeLabelEscapes pins label-value unescaping against text-format
+// escape sequences.
+func TestScrapeLabelEscapes(t *testing.T) {
+	text := `subdex_test_weird_total{path="a\\b",msg="line\nbreak \"q\""} 3` + "\n"
+	s, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Value("subdex_test_weird_total",
+		map[string]string{"path": `a\b`, "msg": "line\nbreak \"q\""})
+	if got != 3 {
+		t.Errorf("escaped labels: want 3, got %v", got)
+	}
+	if got := s.Sum("subdex_test_weird_total"); got != 3 {
+		t.Errorf("escaped sum: want 3, got %v", got)
+	}
+}
+
+// TestFetchMetricsLive scrapes a live server's /metrics after a short
+// walk and checks the step-latency histogram is populated — the exact
+// signal sdeload's SLO assertions read.
+func TestFetchMetricsLive(t *testing.T) {
+	ctx := context.Background()
+	_, ts := demoServer(t, server.Options{})
+	res, err := Run(ctx, Config{Users: 2, Seed: 5, StepsPerUser: 3},
+		HTTPFactory(ts.URL, nil, core.RecommendationPowered, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("walk executed no steps")
+	}
+	s, err := FetchMetrics(ctx, nil, ts.URL+"/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Histogram("subdex_step_duration_seconds")
+	if h == nil || h.Count == 0 {
+		t.Fatalf("step-latency histogram empty after %d steps", res.Steps)
+	}
+	if int(h.Count) < res.Steps {
+		t.Errorf("histogram count %d < steps %d", h.Count, res.Steps)
+	}
+	if q := h.Quantile(0.95); q < 0 {
+		t.Errorf("p95 negative: %v", q)
+	}
+	if got := s.Sum("subdex_steps_total"); int(got) < res.Steps {
+		t.Errorf("steps_total %v < runner steps %d", got, res.Steps)
+	}
+}
