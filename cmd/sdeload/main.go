@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subdex/internal/buildinfo"
 	"subdex/internal/core"
 	"subdex/internal/dataset"
 	"subdex/internal/engine"
@@ -65,7 +66,9 @@ func main() {
 		sloDegRate  = flag.Float64("slo-degraded-rate", -1, "fail if degraded/steps exceeds this fraction (negative: unchecked)")
 		sloMinSteps = flag.Int("slo-min-steps", 1, "fail if the population executed fewer total steps than this")
 
-		benchout = flag.String("benchout", "BENCH_serving.json", "output path for the machine-readable bench artifact ('' disables)")
+		benchout  = flag.String("benchout", "BENCH_serving.json", "output path for the machine-readable bench artifact ('' disables)")
+		flightDir = flag.String("flight-dir", "", "directory for flight-recorder dumps on SLO breach ('' disables; self-hosted modes only)")
+		exemplars = flag.Int("exemplars", 5, "record the K slowest steps' trace IDs and EXPLAIN profiles as exemplars (0 disables)")
 	)
 	flag.Parse()
 	if err := run(context.Background(), options{
@@ -78,7 +81,7 @@ func main() {
 		faultEvery: *faultEvery, faultDelay: *faultDelay,
 		sloP95: *sloP95, sloP99: *sloP99,
 		sloErrRate: *sloErrRate, sloDegRate: *sloDegRate, sloMinSteps: *sloMinSteps,
-		benchout: *benchout,
+		benchout: *benchout, flightDir: *flightDir, exemplars: *exemplars,
 	}); err != nil {
 		code := 1
 		var ue usageError
@@ -131,6 +134,8 @@ type options struct {
 	sloDegRate  float64
 	sloMinSteps int
 	benchout    string
+	flightDir   string
+	exemplars   int
 }
 
 // benchReport is the BENCH_serving.json artifact.
@@ -161,6 +166,20 @@ type benchReport struct {
 	FaultEvery int        `json:"fault_every,omitempty"`
 	SLOChecks  []sloCheck `json:"slo_checks,omitempty"`
 	SLOPass    bool       `json:"slo_pass"`
+
+	// Exemplars are the run's K slowest step calls, each carrying the
+	// trace ID that resolves it against /debug/spans?trace= and
+	// /debug/flightrecorder?trace= and its EXPLAIN profile.
+	Exemplars []workload.Exemplar `json:"exemplars,omitempty"`
+	// FlightDump is the path of the flight-recorder dump an SLO breach
+	// produced, when -flight-dir was set.
+	FlightDump string `json:"flight_dump,omitempty"`
+
+	// Version, Commit, and GoVersion identify the binary that produced
+	// the artifact (mirroring the subdex_build_info gauge).
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
 }
 
 // sloCheck records one asserted objective.
@@ -191,6 +210,7 @@ func run(ctx context.Context, o options) error {
 		AutoLen:      o.autoLen,
 		Mode:         sessMode,
 		Predicate:    o.predicate,
+		ExemplarK:    o.exemplars,
 	}
 
 	var (
@@ -198,11 +218,18 @@ func run(ctx context.Context, o options) error {
 		snapshot func() (*workload.Scrape, error)
 		before   *workload.Scrape
 		modeName = o.mode
+		// flight is the recorder an SLO breach dumps: the server's in http
+		// mode (its ring holds the per-step wide events), a client-side one
+		// in inproc mode.
+		flight *obs.FlightRecorder
 	)
 	switch {
 	case o.target != "":
 		if o.faultEvery > 0 || o.maxSessions > 0 || o.stepTimeout > 0 {
 			return usageError{"-fault-every/-max-sessions/-step-timeout configure a self-hosted engine and cannot apply to an external -target"}
+		}
+		if o.flightDir != "" {
+			return usageError{"-flight-dir dumps a self-hosted engine's flight recorder and cannot apply to an external -target"}
 		}
 		modeName = "target"
 		factory = workload.HTTPFactory(o.target, nil, sessMode, o.predicate)
@@ -231,13 +258,19 @@ func run(ctx context.Context, o options) error {
 			}
 			reg := obs.NewRegistry()
 			ex.Instrument(reg)
+			if o.flightDir != "" {
+				flight = obs.NewFlightRecorder(obs.FlightOptions{Dir: o.flightDir, Name: "sdeload"})
+				cfg.Flight = flight
+			}
 			factory = workload.InprocFactory(ex, sessMode, o.predicate)
 			snapshot = registrySnapshot(reg)
 		case "http":
-			srv, err := server.NewWithOptions(db, coreCfg, server.Options{MaxSessions: o.maxSessions})
+			srv, err := server.NewWithOptions(db, coreCfg,
+				server.Options{MaxSessions: o.maxSessions, FlightDir: o.flightDir})
 			if err != nil {
 				return err
 			}
+			flight = srv.Flight()
 			defer srv.Close()
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
@@ -268,6 +301,16 @@ func run(ctx context.Context, o options) error {
 	}
 
 	rep := report(o, modeName, res, after)
+	if !rep.SLOPass && flight.DumpsEnabled() {
+		// One rate-limited dump per breach: the recent ring (the slow or
+		// failing steps, wide events with trace IDs) plus a goroutine/heap
+		// snapshot land under -flight-dir for post-mortem.
+		if path, dumped, err := flight.Trigger("slo_breach"); err != nil {
+			fmt.Fprintf(os.Stderr, "sdeload: flight-recorder dump failed: %v\n", err)
+		} else if dumped {
+			rep.FlightDump = path
+		}
+	}
 	render(os.Stdout, res, rep)
 	if o.benchout != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -378,7 +421,10 @@ func report(o options, modeName string, res *workload.Result, s *workload.Scrape
 		Other:     res.Errors.Other,
 
 		FaultEvery: o.faultEvery,
+		Exemplars:  res.Exemplars,
 	}
+	info := buildinfo.Get()
+	rep.Version, rep.Commit, rep.GoVersion = info.Version, info.Commit, info.GoVersion
 	if res.Wall > 0 {
 		rep.StepsPerS = float64(res.Steps) / res.Wall.Seconds()
 	}
@@ -458,6 +504,14 @@ func render(w *os.File, res *workload.Result, rep *benchReport) {
 			verdict = "FAIL"
 		}
 		fmt.Fprintf(w, "slo %-14s limit %.4g got %.4g  %s\n", c.Name, c.Limit, c.Got, verdict)
+	}
+	if len(rep.Exemplars) > 0 {
+		e := rep.Exemplars[0]
+		fmt.Fprintf(w, "slowest step: user %d step %d %s %.2fms trace %s\n",
+			e.User, e.Step, e.Op, e.DurationMS, e.TraceID)
+	}
+	if rep.FlightDump != "" {
+		fmt.Fprintf(w, "flight-recorder dump: %s\n", rep.FlightDump)
 	}
 	if n := len(res.Failures()); n > 0 {
 		fmt.Fprintf(w, "terminal failures: %d\n", n)

@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -88,5 +91,92 @@ func TestReportRates(t *testing.T) {
 	}
 	if !rep.SLOPass {
 		t.Errorf("min_steps should pass with 8 steps: %+v", rep.SLOChecks)
+	}
+}
+
+// TestRunSLOBreachDumpsFlightRecorder induces an SLO breach end to end
+// and requires exactly one rate-limited flight-recorder dump under
+// -flight-dir, wide events with trace IDs inside it, and a bench
+// artifact carrying exemplars that resolve the slowest steps.
+func TestRunSLOBreachDumpsFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "BENCH_serving.json")
+	o := options{
+		generate: "demo", scale: 1, seed: 1, mode: "inproc", sessionMode: "rp",
+		users: 2, steps: 3,
+		sloErrRate: -1, sloDegRate: -1,
+		sloMinSteps: 1 << 30, // unreachable: a guaranteed breach
+		benchout:    bench,
+		flightDir:   dir,
+		exemplars:   3,
+	}
+	err := run(context.Background(), o)
+	if err == nil || !strings.Contains(err.Error(), "SLO breach") {
+		t.Fatalf("expected SLO breach error, got %v", err)
+	}
+
+	dumps, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 1 {
+		t.Fatalf("expected exactly one flight-recorder dump, got %v", dumps)
+	}
+	raw, err := os.ReadFile(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("dump has no events beyond the header:\n%s", raw)
+	}
+	if !strings.Contains(lines[0], `"slo_breach"`) {
+		t.Fatalf("dump header missing reason: %s", lines[0])
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("dump event not JSON: %v", err)
+	}
+	if tid, _ := ev["trace_id"].(string); tid == "" {
+		t.Fatalf("dump event carries no trace_id: %s", lines[1])
+	}
+
+	var rep benchReport
+	raw, err = os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exemplars) == 0 {
+		t.Fatal("bench artifact carries no exemplars")
+	}
+	for _, e := range rep.Exemplars {
+		if e.TraceID == "" || e.Profile == nil {
+			t.Fatalf("exemplar missing trace ID or profile: %+v", e)
+		}
+	}
+	if rep.FlightDump != dumps[0] {
+		t.Fatalf("bench artifact flight_dump %q != dump %q", rep.FlightDump, dumps[0])
+	}
+	if rep.GoVersion == "" || rep.Version == "" || rep.Commit == "" {
+		t.Fatalf("bench artifact missing build info: %+v", rep)
+	}
+}
+
+// TestRunTargetRejectsFlightDir pins the flag validation: -flight-dir
+// dumps a self-hosted recorder and cannot apply to an external target.
+func TestRunTargetRejectsFlightDir(t *testing.T) {
+	err := run(context.Background(), options{
+		generate: "demo", scale: 1, seed: 1, sessionMode: "rp",
+		target: "http://127.0.0.1:1", flightDir: t.TempDir(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "flight-dir") {
+		t.Fatalf("expected -flight-dir usage error, got %v", err)
+	}
+	var ue usageError
+	if !errorsAs(err, &ue) {
+		t.Fatalf("expected usage error, got %v", err)
 	}
 }

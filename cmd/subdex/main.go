@@ -16,6 +16,7 @@
 //	auto <m>                            run m fully-automated steps
 //	back                                return to the previous selection
 //	why <n>                             explain why map n was selected
+//	explain                             profile the last step (phases, prunes, cache)
 //	save <file>                         write the session trace as JSONL
 //	vega <n> <file>                     export map n as a Vega-Lite spec
 //	metrics                             dump engine telemetry (Prometheus text)
@@ -174,7 +175,14 @@ func handle(ex *subdex.Explorer, sess *subdex.Session, line string) bool {
 	case "quit", "exit", "q":
 		return true
 	case "help":
-		fmt.Println("commands: filter <t>.<a> = '<v>' | drop <t>.<a> | where <predicate> | rec <n> | auto <m> | back | why <n> | save <file> | vega <n> <file> | metrics | show | reset | quit")
+		fmt.Println("commands: filter <t>.<a> = '<v>' | drop <t>.<a> | where <predicate> | rec <n> | auto <m> | back | why <n> | explain | save <file> | vega <n> <file> | metrics | show | reset | quit")
+	case "explain":
+		steps := sess.Steps()
+		if len(steps) == 0 {
+			fmt.Println("no step to explain yet")
+			return false
+		}
+		printProfile(os.Stdout, steps[len(steps)-1].Profile)
 	case "metrics":
 		// Dump the session's accumulated telemetry in Prometheus text
 		// format — the same shape subdexd serves at /metrics.

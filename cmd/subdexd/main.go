@@ -10,6 +10,7 @@
 //	curl localhost:8080/sessions/1/summary
 //	curl localhost:8080/metrics
 //	curl localhost:8080/debug/spans
+//	curl localhost:8080/debug/flightrecorder?trace=<id>
 //
 // With -debug-addr, net/http/pprof is served on a separate listener
 // (kept off the public address on purpose):
@@ -65,6 +66,8 @@ func main() {
 			"admission cap on live sessions; breaches answer 429 with Retry-After (0 = unlimited)")
 		sessionTTL = flag.Duration("session-ttl", 0,
 			"evict sessions idle longer than this (0 = never)")
+		flightDir = flag.String("flight-dir", "",
+			"directory for flight-recorder dumps on 5xx responses and degraded steps; the live ring is always served at /debug/flightrecorder (empty = dumps disabled)")
 	)
 	flag.Parse()
 
@@ -80,6 +83,7 @@ func main() {
 	srv, err := server.NewWithOptions(db, cfg, server.Options{
 		MaxSessions: *maxSessions,
 		SessionTTL:  *sessionTTL,
+		FlightDir:   *flightDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "subdexd:", err)

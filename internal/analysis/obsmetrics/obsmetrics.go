@@ -19,6 +19,13 @@
 //     per-request reg.Histogram lookup in the HTTP middleware hot path,
 //     a mutex acquisition per request that the registry's own doc
 //     comment forbids. Resolve instruments once, then hammer them.
+//  5. Flight-recorder wide events obey the same field discipline as
+//     metric labels: every (*obs.WideEvent).Set key is a compile-time
+//     snake_case string, and a field name is never reused with a value
+//     of a different static type — queries over dumped JSONL (and the
+//     /debug/flightrecorder?trace= filter) assume one name means one
+//     shape everywhere. The check crosses packages via the same facts
+//     mechanism as rule 3.
 //
 // Test files are exempt, as is the obs package itself (it defines the
 // API).
@@ -27,6 +34,7 @@ package obsmetrics
 import (
 	"encoding/json"
 	"go/ast"
+	"go/types"
 	"regexp"
 	"strings"
 
@@ -48,6 +56,10 @@ const obsPkgSuffix = "internal/obs"
 // nameRx is the mandatory shape of a SubDEx metric name.
 var nameRx = regexp.MustCompile(`^subdex_[a-z0-9_]+$`)
 
+// fieldRx is the mandatory shape of a wide-event field key: snake_case,
+// no leading/trailing/doubled underscores.
+var fieldRx = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
 // histogramUnits are the accepted base-unit suffixes for histograms.
 var histogramUnits = []string{"_seconds", "_bytes", "_ratio", "_records"}
 
@@ -60,9 +72,17 @@ type registration struct {
 	Pos    string   `json:"pos"`    // "file:line" of the first registration
 }
 
-// fact is the package fact: every metric the package registers.
+// fieldReg is one wide-event field's first-seen metadata.
+type fieldReg struct {
+	Type string `json:"type"` // static value type; "" = not statically known
+	Pos  string `json:"pos"`  // "file:line" of the first Set
+}
+
+// fact is the package fact: every metric the package registers and
+// every wide-event field it sets.
 type fact struct {
 	Metrics map[string]registration `json:"metrics"`
+	Fields  map[string]fieldReg     `json:"fields,omitempty"`
 }
 
 func run(pass *framework.Pass) error {
@@ -73,6 +93,7 @@ func run(pass *framework.Pass) error {
 	// Seed the registry view with facts from already-analyzed packages so
 	// cross-package duplicates are diagnosed at the later site.
 	seen := make(map[string]registration)
+	seenFields := make(map[string]fieldReg)
 	for _, pf := range pass.ImportedFacts() {
 		var f fact
 		if err := json.Unmarshal(pf.Fact, &f); err != nil {
@@ -83,12 +104,23 @@ func run(pass *framework.Pass) error {
 				seen[name] = reg
 			}
 		}
+		for name, fr := range f.Fields {
+			if _, ok := seenFields[name]; !ok {
+				seenFields[name] = fr
+			}
+		}
 	}
-	local := fact{Metrics: make(map[string]registration)}
+	local := fact{Metrics: make(map[string]registration), Fields: make(map[string]fieldReg)}
 
 	framework.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
+			return true
+		}
+		if isWideEventSet(pass, call) {
+			if !framework.IsTestFile(pass.Fset, call.Pos()) {
+				checkWideField(pass, call, seenFields, local.Fields)
+			}
 			return true
 		}
 		kind, ok := registryCallKind(pass, call)
@@ -143,6 +175,64 @@ func registryCallKind(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return strings.ToLower(method), true
+}
+
+// isWideEventSet reports whether call is (*obs.WideEvent).Set.
+func isWideEventSet(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Set" || len(call.Args) != 2 {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	return framework.NamedTypeIn(recv, obsPkgSuffix, "WideEvent") ||
+		framework.NamedTypeIn(recv, "obs", "WideEvent")
+}
+
+// checkWideField enforces rule 5 on one Set call, against both imported
+// facts and earlier Sets in this package.
+func checkWideField(pass *framework.Pass, call *ast.CallExpr, seen, local map[string]fieldReg) {
+	key, ok := framework.ConstString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"wide-event field key must be a string literal or constant (dynamic keys defeat dump queries and the field-shape check)")
+		return
+	}
+	if !fieldRx.MatchString(key) {
+		pass.Reportf(call.Args[0].Pos(),
+			"wide-event field key %q is not snake_case ([a-z0-9] words joined by single underscores)", key)
+		return
+	}
+	fr := fieldReg{
+		Type: valueTypeString(pass, call.Args[1]),
+		Pos:  pass.Fset.Position(call.Pos()).String(),
+	}
+	for _, prev := range [2]map[string]fieldReg{local, seen} {
+		p, ok := prev[key]
+		if !ok {
+			continue
+		}
+		if fr.Type != "" && p.Type != "" && fr.Type != p.Type {
+			pass.Reportf(call.Pos(),
+				"wide-event field %q set with type %s (was %s at %s): one field name, one shape",
+				key, fr.Type, p.Type, p.Pos)
+		}
+		return
+	}
+	local[key] = fr
+}
+
+// valueTypeString renders the static type of a Set value, with untyped
+// constants defaulted ("" when the type is not known).
+func valueTypeString(pass *framework.Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	return types.Default(tv.Type).String()
 }
 
 // checkConstructorContext enforces rule 4: the (topmost) named function

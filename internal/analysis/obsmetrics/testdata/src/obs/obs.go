@@ -47,3 +47,12 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge { return &Ga
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
 	return &Histogram{}
 }
+
+// WideEvent is one structured flight-recorder record.
+type WideEvent struct{ n int }
+
+// NewWideEvent builds an empty event.
+func NewWideEvent() *WideEvent { return &WideEvent{} }
+
+// Set appends a field, chainable.
+func (e *WideEvent) Set(key string, value any) *WideEvent { e.n++; return e }

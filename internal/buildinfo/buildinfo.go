@@ -1,0 +1,56 @@
+// Package buildinfo identifies the running binary for observability
+// surfaces: the subdex_build_info metric, the /healthz JSON, and the
+// load-harness BENCH reports all echo the same three fields, so a scrape
+// or a benchmark artifact always says which build produced it.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Info describes the running binary.
+type Info struct {
+	// Version is the main module's version ("(devel)" for a plain
+	// `go build`, a pseudo-version or tag when built from a module proxy).
+	Version string `json:"version"`
+	// Commit is the VCS revision baked in by the toolchain, or "unknown"
+	// when built outside a checkout. A "+dirty" suffix marks uncommitted
+	// changes.
+	Commit string `json:"commit"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the binary's build information. It never fails: fields the
+// toolchain did not record degrade to "unknown"/"(devel)".
+func Get() Info {
+	info := Info{Version: "(devel)", Commit: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var revision string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "+dirty"
+		}
+		info.Commit = revision
+	}
+	return info
+}

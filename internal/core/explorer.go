@@ -99,6 +99,10 @@ type StepResult struct {
 	// operation, letting benches derive parallel schedules for any core
 	// count deterministically.
 	RecOpDurations []time.Duration
+	// TraceID is the correlation ID the step ran under (empty without one).
+	TraceID string
+	// Profile is the step's EXPLAIN record (always populated by StepCtx).
+	Profile *StepProfile
 }
 
 // TotalUtility is Σ û over the displayed maps — the step's contribution to
@@ -184,6 +188,11 @@ func (ex *Explorer) rmSetForGroup(ctx context.Context, group *query.RatingGroup,
 		Considered:       genRes.Considered,
 		Degraded:         genRes.Degraded,
 		RecordsProcessed: genRes.RecordsProcessed,
+		Profile: &StepProfile{
+			GroupSize:        group.Len(),
+			RecordsProcessed: genRes.RecordsProcessed,
+			Engine:           genRes.Profile,
+		},
 		// Diversity is reported with pure EMD — a property of the data
 		// shown — even when selection used an augmented distance.
 		SetDiversity: diversity.SetDiversity(sel, diversity.EMD),

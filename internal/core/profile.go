@@ -1,0 +1,40 @@
+// StepProfile is the per-step EXPLAIN record: the step-level costs and
+// outcomes wrapped around the engine's execution profile. It is populated
+// on every StepResult, serialized under the server's ?explain=1 flag, and
+// pretty-printed by the subdex CLI's "explain" command.
+
+package core
+
+import "subdex/internal/engine"
+
+// StepProfile explains one exploration step.
+type StepProfile struct {
+	// TraceID is the step's correlation ID (empty when the context carried
+	// none and no sink minted one).
+	TraceID string `json:"trace_id,omitempty"`
+	// Selection is the selection the step displayed.
+	Selection string `json:"selection"`
+	// Mode is the exploration mode the step ran under.
+	Mode string `json:"mode"`
+	// GenMS is the rating-map generation wall time (materialize + engine +
+	// diversity selection); RecMS the recommendation pass.
+	GenMS float64 `json:"gen_ms"`
+	RecMS float64 `json:"rec_ms"`
+	// RecCandidates counts candidate operations the recommendation pass
+	// evaluated.
+	RecCandidates int `json:"rec_candidates"`
+	// RecommendationsSkipped reports a step whose deadline was spent before
+	// the recommendation pass, which therefore never ran.
+	RecommendationsSkipped bool `json:"recommendations_skipped,omitempty"`
+	// Degraded and DegradedReason mirror the step's anytime outcome; the
+	// reason is the engine's (or "recommendations_skipped" when only the
+	// recommendation pass was cut).
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// GroupSize and RecordsProcessed mirror the StepResult counters.
+	GroupSize        int `json:"group_size"`
+	RecordsProcessed int `json:"records_processed"`
+	// Engine is the generator's per-call profile for the displayed group
+	// (recommendation-evaluation engine calls are not included).
+	Engine *engine.Profile `json:"engine,omitempty"`
+}

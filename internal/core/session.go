@@ -129,9 +129,40 @@ func (s *Session) StepCtx(ctx context.Context) (*StepResult, error) {
 	if res.Degraded {
 		span.SetAttr("degraded", true)
 	}
+	s.finishProfile(ctx, res)
 	s.steps = append(s.steps, res)
 	s.Ex.Ins.stepDone(time.Since(start), res.GenDuration, res.RecDuration, len(res.RecOpDurations), res.Degraded)
 	return res, nil
+}
+
+// finishProfile completes the step's EXPLAIN record with the step-level
+// fields rmSetForGroup cannot know: the trace ID, mode, timings, and the
+// recommendation-pass outcome.
+func (s *Session) finishProfile(ctx context.Context, res *StepResult) {
+	res.TraceID = string(obs.TraceIDFrom(ctx))
+	p := res.Profile
+	if p == nil {
+		p = &StepProfile{GroupSize: res.GroupSize, RecordsProcessed: res.RecordsProcessed}
+		res.Profile = p
+	}
+	p.TraceID = res.TraceID
+	p.Selection = res.Desc.String()
+	p.Mode = s.Mode.String()
+	p.GenMS = float64(res.GenDuration.Microseconds()) / 1000
+	p.RecMS = float64(res.RecDuration.Microseconds()) / 1000
+	p.RecCandidates = len(res.RecOpDurations)
+	p.Degraded = res.Degraded
+	if p.Engine != nil {
+		p.DegradedReason = p.Engine.DegradedReason
+	}
+	// A step can degrade without the engine degrading: the deadline landed
+	// between generation and the recommendation pass.
+	if res.Degraded && s.Mode != UserDriven && res.Recommendations == nil && res.RecDuration == 0 {
+		p.RecommendationsSkipped = true
+		if p.DegradedReason == "" {
+			p.DegradedReason = "recommendations_skipped"
+		}
+	}
 }
 
 // Apply moves the session to the operation's target description. Any

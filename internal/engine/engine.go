@@ -122,6 +122,9 @@ type Result struct {
 	// accumulator before finalization (== len(group.Records) for a
 	// complete scan).
 	RecordsProcessed int
+	// Profile is the per-call EXPLAIN profile (always populated by
+	// TopMapsCtx, even for degraded or cache-hit runs).
+	Profile *Profile
 }
 
 // Generator produces top-utility rating maps for rating groups of one
@@ -203,6 +206,10 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 	span.SetAttr("pruning", cfg.Pruning.String())
 	g.Metrics.addCandidates(len(candidates))
 	res := &Result{Considered: len(candidates)}
+	prof := &Profile{Cache: "off", Workers: cfg.Workers, GroupRecords: len(group.Records)}
+	if prof.Workers < 1 {
+		prof.Workers = 1
+	}
 	defer func() {
 		g.Metrics.addPruned(res.PrunedCI, res.PrunedMAB)
 		g.Metrics.addFinalized(len(res.Maps))
@@ -210,7 +217,20 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		if res.Degraded {
 			g.Metrics.addDegraded()
 			span.SetAttr("degraded", true)
+			if prof.DegradedReason == "" {
+				// The only degradation not tagged at its source: the deadline
+				// hit inside the final scoring pass.
+				prof.DegradedReason = "deadline_mid_finalize"
+			}
 		}
+		prof.Considered = res.Considered
+		prof.PrunedCI = res.PrunedCI
+		prof.PrunedMAB = res.PrunedMAB
+		if prof.Cache != "hit" {
+			prof.RecordsScanned = res.RecordsProcessed
+		}
+		prof.TotalMS = msSince(start)
+		res.Profile = prof
 		span.SetAttr("pruned_ci", res.PrunedCI)
 		span.SetAttr("pruned_mab", res.PrunedMAB)
 		span.SetAttr("maps", len(res.Maps))
@@ -232,6 +252,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		if cached, ok := g.Cache.get(key); ok {
 			g.Metrics.addCacheHit()
 			span.SetAttr("cache", "hit")
+			prof.Cache = "hit"
 			if cfg.PhaseHook != nil {
 				cfg.PhaseHook(ctx, 0)
 			}
@@ -239,11 +260,14 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 				return nil, err // nothing served yet: fail, don't degrade
 			}
 			res.RecordsProcessed = n
+			fstart := time.Now()
 			g.finalize(ctx, cached, seen, kPrime, cfg, res)
+			prof.FinalizeMS = msSince(fstart)
 			return res, nil
 		}
 		g.Metrics.addCacheMiss()
 		span.SetAttr("cache", "miss")
+		prof.Cache = "miss"
 	}
 
 	acc := g.Builder.NewAccumulator(group.Desc, candidates)
@@ -252,6 +276,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		n >= cfg.MinPhaseRecords && len(candidates) > kPrime &&
 		!(g.Cache != nil && cfg.ExactOnCacheMiss)
 	span.SetAttr("phased", usePhases)
+	prof.Phased = usePhases
 
 	if !usePhases {
 		if cfg.PhaseHook != nil {
@@ -260,10 +285,12 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		if err := ctx.Err(); err != nil {
 			return nil, err // nothing processed yet: fail, don't degrade
 		}
-		g.accumulate(acc, group.Records, cfg.Workers)
+		prof.noteShards(g.accumulate(acc, group.Records, cfg.Workers))
 		res.RecordsProcessed = n
 		g.maybeCache(key, acc, res, n)
+		fstart := time.Now()
 		g.finalize(ctx, acc, seen, kPrime, cfg, res)
+		prof.FinalizeMS = msSince(fstart)
 		return res, nil
 	}
 
@@ -303,20 +330,30 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 				return nil, err
 			}
 			res.Degraded = true
+			prof.DegradedReason = "deadline_at_phase_boundary"
 			break
 		}
 		phaseStart := time.Now()
 		_, pspan := obs.StartSpan(ctx, "engine.phase")
 		pspan.SetAttr("phase", phase)
 		ciBefore, mabBefore := res.PrunedCI, res.PrunedMAB
+		startProcessed := processed
 		endPhase := func() {
 			g.Metrics.observePhase(time.Since(phaseStart))
 			pspan.SetAttr("alive", len(alive))
 			pspan.SetAttr("pruned_ci", res.PrunedCI-ciBefore)
 			pspan.SetAttr("pruned_mab", res.PrunedMAB-mabBefore)
 			pspan.End()
+			prof.Phases = append(prof.Phases, PhaseProfile{
+				Phase:      phase,
+				DurationMS: msSince(phaseStart),
+				Records:    processed - startProcessed,
+				Alive:      len(alive),
+				PrunedCI:   res.PrunedCI - ciBefore,
+				PrunedMAB:  res.PrunedMAB - mabBefore,
+			})
 		}
-		g.accumulate(acc, group.Records[lo:hi], cfg.Workers)
+		prof.noteShards(g.accumulate(acc, group.Records[lo:hi], cfg.Workers))
 		processed = hi
 		if phase == cfg.Phases-1 {
 			endPhase()
@@ -329,6 +366,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 			// consistent prefix), the estimates are not — skip pruning and
 			// degrade to finalizing the prefix.
 			res.Degraded = true
+			prof.DegradedReason = "deadline_mid_estimate"
 			endPhase()
 			break
 		}
@@ -380,12 +418,13 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 			for p := phase + 1; p < cfg.Phases; p++ {
 				if ctx.Err() != nil {
 					res.Degraded = true
+					prof.DegradedReason = "deadline_mid_tail_scan"
 					break
 				}
 				lo := p * n / cfg.Phases
 				hi := (p + 1) * n / cfg.Phases
 				if lo < hi {
-					g.accumulate(acc, group.Records[lo:hi], cfg.Workers)
+					prof.noteShards(g.accumulate(acc, group.Records[lo:hi], cfg.Workers))
 					processed = hi
 				}
 			}
@@ -404,7 +443,9 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 	if res.Degraded {
 		fctx = context.WithoutCancel(ctx)
 	}
+	fstart := time.Now()
 	g.finalize(fctx, acc, seen, kPrime, cfg, res)
+	prof.FinalizeMS = msSince(fstart)
 	return res, nil
 }
 

@@ -30,16 +30,17 @@ const shardMinRecords = 2048
 // accumulate feeds records into acc, sharding the scan across up to
 // workers goroutines when the range is large enough to pay for it.
 // workers ≤ 1 (the No-Parallelism and Naive baselines) always scans
-// sequentially.
-func (g *Generator) accumulate(acc *ratingmap.Accumulator, records []int32, workers int) {
-	g.shardedAccumulate(acc, records, workers, shardMinRecords)
+// sequentially. It reports how many shards the scan actually used (1 for
+// the sequential path), feeding the per-call Profile.
+func (g *Generator) accumulate(acc *ratingmap.Accumulator, records []int32, workers int) int {
+	return g.shardedAccumulate(acc, records, workers, shardMinRecords)
 }
 
 // shardedAccumulate is accumulate with an explicit per-shard record floor
 // (tests set it to 1 to force sharding on small inputs). Workers are
 // clamped so no shard is smaller than minPerShard; workers > len(records)
 // therefore degrades gracefully to one record per shard at most.
-func (g *Generator) shardedAccumulate(acc *ratingmap.Accumulator, records []int32, workers, minPerShard int) {
+func (g *Generator) shardedAccumulate(acc *ratingmap.Accumulator, records []int32, workers, minPerShard int) int {
 	if minPerShard < 1 {
 		minPerShard = 1
 	}
@@ -48,7 +49,7 @@ func (g *Generator) shardedAccumulate(acc *ratingmap.Accumulator, records []int3
 	}
 	if workers <= 1 {
 		acc.Update(records)
-		return
+		return 1
 	}
 	shards := make([]*ratingmap.Accumulator, workers)
 	busy := make([]time.Duration, workers)
@@ -83,4 +84,5 @@ func (g *Generator) shardedAccumulate(acc *ratingmap.Accumulator, records []int3
 		totalBusy += b
 	}
 	g.Metrics.observeUtilization(totalBusy, time.Since(poolStart), workers)
+	return workers
 }

@@ -1,0 +1,347 @@
+// Flight recorder: a bounded ring of wide events — one structured,
+// many-field record per unit of work (an exploration step, a failed
+// request) — with trigger-based dumps. The ring is always cheap to feed;
+// when something goes wrong (a 5xx, a degraded step, an SLO breach) a
+// trigger writes the recent ring plus a goroutine/heap profile snapshot
+// to disk, rate-limited per reason so a sustained failure cannot storm
+// the filesystem. The live ring is served at /debug/flightrecorder.
+
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// WideEvent is one flight-recorder record: an ordered list of
+// snake_case-keyed fields. Build it fluently with Set; the obsmetrics
+// analyzer enforces that keys are literal snake_case strings and that a
+// key is never set with two different value types across the codebase.
+// A WideEvent is built by one goroutine and immutable once recorded.
+type WideEvent struct {
+	fields []Attr
+}
+
+// NewWideEvent starts an empty event.
+func NewWideEvent() *WideEvent { return &WideEvent{} }
+
+// Set appends one field and returns the event for chaining. Nil-safe.
+// Keys must be literal snake_case strings (enforced statically); setting
+// the same key twice keeps both entries, last-writer-wins on render.
+func (e *WideEvent) Set(key string, value any) *WideEvent {
+	if e == nil {
+		return nil
+	}
+	e.fields = append(e.fields, Attr{Key: key, Value: value})
+	return e
+}
+
+// Get returns the last value set under key.
+func (e *WideEvent) Get(key string) (any, bool) {
+	if e == nil {
+		return nil, false
+	}
+	for i := len(e.fields) - 1; i >= 0; i-- {
+		if e.fields[i].Key == key {
+			return e.fields[i].Value, true
+		}
+	}
+	return nil, false
+}
+
+// MarshalJSON renders the event as a JSON object in field insertion
+// order (duplicate keys keep the later entry only), so dumps read in the
+// order the instrumentation wrote and diff stably.
+func (e *WideEvent) MarshalJSON() ([]byte, error) {
+	if e == nil {
+		return []byte("null"), nil
+	}
+	drop := make(map[string]int, len(e.fields))
+	for i, f := range e.fields {
+		drop[f.Key] = i
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	first := true
+	for i, f := range e.fields {
+		if drop[f.Key] != i {
+			continue
+		}
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		k, err := json.Marshal(f.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(f.Value)
+		if err != nil {
+			return nil, fmt.Errorf("obs: wide event field %q: %w", f.Key, err)
+		}
+		buf.Write(k)
+		buf.WriteByte(':')
+		buf.Write(v)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// FlightOptions configure a FlightRecorder. The zero value gives a
+// 256-event ring with dumps disabled.
+type FlightOptions struct {
+	// Ring bounds the event buffer (default 256).
+	Ring int
+	// Dir is where triggered dumps are written; "" disables dumps (the
+	// ring still records and serves).
+	Dir string
+	// Name tags dump filenames ("<name>-<seq>-<reason>.jsonl"), default
+	// "flight" — so server-side and client-side recorders sharing a
+	// directory stay distinguishable.
+	Name string
+	// MinInterval is the per-reason dump rate limit (default 30s):
+	// repeated triggers for the same reason inside the window are
+	// suppressed, so a failing SLO or a 5xx storm yields one dump, not
+	// thousands.
+	MinInterval time.Duration
+	// Clock overrides time.Now for the rate limiter (tests).
+	Clock func() time.Time
+}
+
+// FlightRecorder is a concurrency-safe bounded ring of wide events with
+// trigger-based dumping. All methods are no-ops on a nil receiver.
+type FlightRecorder struct {
+	dir         string
+	name        string
+	minInterval time.Duration
+	clock       func() time.Time
+
+	mu         sync.Mutex
+	buf        []*WideEvent
+	next       int
+	full       bool
+	lastDump   map[string]time.Time
+	seq        int
+	dumps      int
+	suppressed int
+}
+
+// NewFlightRecorder builds a recorder from opts.
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder {
+	if opts.Ring < 1 {
+		opts.Ring = 256
+	}
+	if opts.Name == "" {
+		opts.Name = "flight"
+	}
+	if opts.MinInterval <= 0 {
+		opts.MinInterval = 30 * time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &FlightRecorder{
+		dir:         opts.Dir,
+		name:        opts.Name,
+		minInterval: opts.MinInterval,
+		clock:       opts.Clock,
+		buf:         make([]*WideEvent, opts.Ring),
+		lastDump:    make(map[string]time.Time),
+	}
+}
+
+// DumpsEnabled reports whether triggers can write dumps (a Dir is set).
+func (f *FlightRecorder) DumpsEnabled() bool { return f != nil && f.dir != "" }
+
+// Record appends one event to the ring, stamping a "ts" field when the
+// caller did not. Safe for concurrent use; nil-safe.
+func (f *FlightRecorder) Record(ev *WideEvent) {
+	if f == nil || ev == nil {
+		return
+	}
+	if _, ok := ev.Get("ts"); !ok {
+		ev.Set("ts", f.clock().UTC().Format(time.RFC3339Nano))
+	}
+	f.mu.Lock()
+	f.buf[f.next] = ev
+	f.next++
+	if f.next == len(f.buf) {
+		f.next, f.full = 0, true
+	}
+	f.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.full {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// Snapshot returns buffered events newest first, optionally restricted
+// to those whose "trace_id" field equals trace ("" disables the filter)
+// and truncated to limit events (<= 0 disables truncation).
+func (f *FlightRecorder) Snapshot(trace string, limit int) []*WideEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	all := f.newestFirstLocked()
+	f.mu.Unlock()
+	if trace != "" {
+		kept := all[:0]
+		for _, ev := range all {
+			if v, ok := ev.Get("trace_id"); ok && fmt.Sprint(v) == trace {
+				kept = append(kept, ev)
+			}
+		}
+		all = kept
+	}
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}
+
+// newestFirstLocked copies the ring newest first; caller holds f.mu.
+func (f *FlightRecorder) newestFirstLocked() []*WideEvent {
+	n := f.next
+	if f.full {
+		n = len(f.buf)
+	}
+	out := make([]*WideEvent, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (f.next - 1 - i + len(f.buf)) % len(f.buf)
+		if f.buf[idx] != nil {
+			out = append(out, f.buf[idx])
+		}
+	}
+	return out
+}
+
+// Stats reports how many dumps were written and how many triggers the
+// rate limiter suppressed.
+func (f *FlightRecorder) Stats() (dumps, suppressed int) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps, f.suppressed
+}
+
+// Trigger requests a dump for reason. With dumps disabled it is a no-op
+// (false, no error, nothing counted). Otherwise it is rate-limited per
+// reason: inside MinInterval of the previous dump for the same reason
+// the trigger is suppressed. A dump writes two files under Dir — the
+// ring as JSONL (a header line, then events oldest first) and a
+// goroutine+heap profile snapshot — and returns the JSONL path. File
+// I/O happens outside the recorder lock.
+func (f *FlightRecorder) Trigger(reason string) (path string, dumped bool, err error) {
+	if f == nil || f.dir == "" {
+		return "", false, nil
+	}
+	f.mu.Lock()
+	now := f.clock()
+	if last, ok := f.lastDump[reason]; ok && now.Sub(last) < f.minInterval {
+		f.suppressed++
+		f.mu.Unlock()
+		return "", false, nil
+	}
+	f.lastDump[reason] = now
+	f.seq++
+	seq := f.seq
+	f.dumps++
+	events := f.newestFirstLocked()
+	f.mu.Unlock()
+
+	// Oldest first: a dump reads chronologically.
+	for i, j := 0, len(events)-1; i < j; i, j = i+1, j-1 {
+		events[i], events[j] = events[j], events[i]
+	}
+	base := fmt.Sprintf("%s-%03d-%s", f.name, seq, sanitizeReason(reason))
+	path = filepath.Join(f.dir, base+".jsonl")
+	if err := f.writeDump(path, reason, now, events); err != nil {
+		return "", false, err
+	}
+	if err := writeProfileSnapshot(filepath.Join(f.dir, base+".profiles.txt")); err != nil {
+		return path, true, err
+	}
+	return path, true, nil
+}
+
+// writeDump writes the JSONL dump file.
+func (f *FlightRecorder) writeDump(path, reason string, at time.Time, events []*WideEvent) error {
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	hdr := map[string]any{
+		"flight_recorder": f.name,
+		"reason":          reason,
+		"at":              at.UTC().Format(time.RFC3339Nano),
+		"events":          len(events),
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// writeProfileSnapshot dumps the goroutine and heap profiles in their
+// human-readable text form — the "what was the process doing" half of a
+// flight-recorder dump.
+func writeProfileSnapshot(path string) error {
+	var buf bytes.Buffer
+	for _, name := range []string{"goroutine", "heap"} {
+		fmt.Fprintf(&buf, "=== %s profile ===\n", name)
+		p := pprof.Lookup(name)
+		if p == nil {
+			fmt.Fprintf(&buf, "(unavailable)\n")
+			continue
+		}
+		if err := p.WriteTo(&buf, 1); err != nil {
+			fmt.Fprintf(&buf, "(error: %v)\n", err)
+		}
+		buf.WriteByte('\n')
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// sanitizeReason keeps dump filenames portable.
+func sanitizeReason(reason string) string {
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason); i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_', c == '-':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "trigger"
+	}
+	return string(out)
+}

@@ -16,7 +16,12 @@ type SpanSink interface {
 
 // SpanData is the immutable, JSON-friendly snapshot of one span.
 type SpanData struct {
-	Name       string         `json:"name"`
+	Name string `json:"name"`
+	// TraceID correlates the tree with its request: root spans carry the
+	// context's trace ID (minting one when absent), so /debug/spans can
+	// be filtered by the ID a client propagated via traceparent. Children
+	// inherit the root's ID implicitly and leave the field empty.
+	TraceID    TraceID        `json:"trace_id,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationMS float64        `json:"duration_ms"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
@@ -31,6 +36,7 @@ type Span struct {
 	name  string
 	start time.Time
 	sink  SpanSink // non-nil only on roots
+	trace TraceID  // non-empty only on roots
 
 	mu       sync.Mutex
 	duration time.Duration
@@ -82,7 +88,15 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		if sink == nil {
 			return ctx, nil
 		}
-		s := &Span{name: name, start: time.Now(), sink: sink}
+		// Roots bind the context's trace ID (minting one when absent) and
+		// re-install it so every child span and downstream profile sees
+		// the same ID the root was collected under.
+		tid := TraceIDFrom(ctx)
+		if tid == "" {
+			tid = NewTraceID()
+			ctx = WithTraceID(ctx, tid)
+		}
+		s := &Span{name: name, start: time.Now(), sink: sink, trace: tid}
 		return context.WithValue(ctx, spanKey{}, s), s
 	}
 	s := &Span{name: name, start: time.Now()}
@@ -141,6 +155,7 @@ func (s *Span) snapshot() *SpanData {
 	}
 	out := &SpanData{
 		Name:       s.name,
+		TraceID:    s.trace,
 		Start:      s.start,
 		DurationMS: float64(d.Microseconds()) / 1000,
 	}
@@ -209,4 +224,25 @@ func (r *RingSink) Snapshot() []*SpanData {
 		}
 	}
 	return out
+}
+
+// SnapshotFiltered is Snapshot restricted to roots carrying the given
+// trace ID (trace "" disables the filter) and truncated to the newest
+// limit spans (limit <= 0 disables truncation) — the /debug/spans query
+// parameters.
+func (r *RingSink) SnapshotFiltered(trace TraceID, limit int) []*SpanData {
+	all := r.Snapshot()
+	if trace != "" {
+		kept := all[:0]
+		for _, sp := range all {
+			if sp.TraceID == trace {
+				kept = append(kept, sp)
+			}
+		}
+		all = kept
+	}
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all
 }

@@ -13,12 +13,19 @@
 //	GET  /sessions/{id}/maps/{n}/vega                        -> Vega-Lite spec of map n
 //	GET  /healthz
 //	GET  /metrics                                            -> Prometheus text format
-//	GET  /debug/spans                                        -> recent span trees (JSON)
+//	GET  /debug/spans?limit=N&trace=ID                       -> recent span trees (JSON)
+//	GET  /debug/flightrecorder?limit=N&trace=ID              -> recent wide events (JSON)
 //
 // Every request runs through observability middleware: request latency
 // and status are recorded in the obs registry, the request carries a
 // span sink so one exploration step yields a full span tree, and
-// in-flight requests and live sessions are tracked as gauges.
+// in-flight requests and live sessions are tracked as gauges. The
+// middleware also speaks W3C trace context: an incoming `traceparent`
+// header's trace ID is installed in the request context (the root span,
+// every engine phase span, the step profile, and the step's flight-
+// recorder wide event all carry it), and the response echoes a
+// `traceparent` so callers can log the correlation ID they were served
+// under.
 package server
 
 import (
@@ -32,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"subdex/internal/buildinfo"
 	"subdex/internal/core"
 	"subdex/internal/dataset"
 	"subdex/internal/obs"
@@ -61,6 +69,14 @@ type Options struct {
 	JanitorInterval time.Duration
 	// Clock overrides time.Now for the idle-TTL bookkeeping (tests).
 	Clock func() time.Time
+	// FlightDir enables triggered flight-recorder dumps (on 5xx responses
+	// and degraded steps, rate-limited per reason) into the directory.
+	// Empty keeps the ring recording and served at /debug/flightrecorder
+	// but writes nothing to disk.
+	FlightDir string
+	// FlightMinInterval overrides the per-reason dump rate limit
+	// (default 30s).
+	FlightMinInterval time.Duration
 }
 
 // routes are the handler paths served by Handler. The per-route HTTP
@@ -70,6 +86,7 @@ type Options struct {
 // exists to catch).
 var routes = []string{
 	"/healthz", "/sessions", "/sessions/{id}", "/metrics", "/debug/spans", "/debug/cache",
+	"/debug/flightrecorder",
 }
 
 // statusCodes are the response codes this server emits; one counter
@@ -135,11 +152,13 @@ type sessionEntry struct {
 // Server owns an explorer, its live sessions, and the observability
 // surface (metrics registry + recent-span ring).
 type Server struct {
-	ex    *core.Explorer
-	reg   *obs.Registry
-	spans *obs.RingSink
-	opts  Options
-	now   func() time.Time
+	ex     *core.Explorer
+	reg    *obs.Registry
+	spans  *obs.RingSink
+	flight *obs.FlightRecorder
+	info   buildinfo.Info
+	opts   Options
+	now    func() time.Time
 
 	httpInFlight      *obs.Gauge
 	sessionsLive      *obs.Gauge
@@ -147,6 +166,8 @@ type Server struct {
 	admissionRejected *obs.Counter
 	busyRejected      *obs.Counter
 	stepTimeouts      *obs.Counter
+	flightDumps       *obs.Counter
+	flightSuppressed  *obs.Counter
 	routeIns          map[string]*routeInstruments
 
 	mu       sync.Mutex
@@ -178,12 +199,20 @@ func NewWithOptions(db *dataset.DB, cfg core.Config, opts Options) (*Server, err
 	if now == nil {
 		now = time.Now
 	}
+	info := buildinfo.Get()
 	s := &Server{
 		ex:    ex,
 		reg:   reg,
 		spans: obs.NewRingSink(spanRingSize),
-		opts:  opts,
-		now:   now,
+		flight: obs.NewFlightRecorder(obs.FlightOptions{
+			Dir:         opts.FlightDir,
+			Name:        "server",
+			MinInterval: opts.FlightMinInterval,
+			Clock:       now,
+		}),
+		info: info,
+		opts: opts,
+		now:  now,
 		httpInFlight: reg.Gauge("subdex_http_in_flight_requests",
 			"HTTP requests currently being served."),
 		sessionsLive: reg.Gauge("subdex_sessions_in_flight",
@@ -196,6 +225,10 @@ func NewWithOptions(db *dataset.DB, cfg core.Config, opts Options) (*Server, err
 			"Step/apply requests rejected because the session was mid-computation."),
 		stepTimeouts: reg.Counter("subdex_step_timeouts_total",
 			"Steps aborted by their deadline before any phase boundary (504s)."),
+		flightDumps: reg.Counter("subdex_flight_dumps_total",
+			"Flight-recorder dumps written to disk."),
+		flightSuppressed: reg.Counter("subdex_flight_dumps_suppressed_total",
+			"Flight-recorder triggers suppressed by the per-reason rate limit."),
 		sessions: make(map[int]*sessionEntry),
 		routeIns: make(map[string]*routeInstruments, len(routes)),
 		nextID:   1,
@@ -204,10 +237,37 @@ func NewWithOptions(db *dataset.DB, cfg core.Config, opts Options) (*Server, err
 	for _, route := range routes {
 		s.routeIns[route] = newRouteInstruments(reg, route)
 	}
+	// The standard build-info idiom: a constant-1 gauge whose labels carry
+	// the identity, so scrapes and load-test artifacts can say exactly
+	// which binary they measured.
+	reg.Gauge("subdex_build_info",
+		"Build metadata of the running binary (constant 1; identity in the labels).",
+		obs.L("version", info.Version),
+		obs.L("commit", info.Commit),
+		obs.L("go_version", info.GoVersion)).Set(1)
 	if opts.SessionTTL > 0 {
 		go s.janitor()
 	}
 	return s, nil
+}
+
+// Flight exposes the server's flight recorder so embedders (sdeload's
+// http mode, tests) can record client-side wide events into the same
+// ring and fire their own triggers (e.g. an SLO breach).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// flightTrigger fires a rate-limited flight-recorder dump and keeps the
+// dump/suppression counters in step. With no FlightDir configured it is
+// free.
+func (s *Server) flightTrigger(reason string) {
+	if !s.flight.DumpsEnabled() {
+		return
+	}
+	if _, dumped, err := s.flight.Trigger(reason); err == nil && dumped {
+		s.flightDumps.Inc()
+	} else if err == nil {
+		s.flightSuppressed.Inc()
+	}
 }
 
 // Close stops the TTL janitor (if any). It does not tear down live
@@ -281,13 +341,20 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "database": s.ex.DB.Name})
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status":     "ok",
+			"database":   s.ex.DB.Name,
+			"version":    s.info.Version,
+			"commit":     s.info.Commit,
+			"go_version": s.info.GoVersion,
+		})
 	}))
 	mux.HandleFunc("/sessions", s.instrument("/sessions", s.handleCreateSession))
 	mux.HandleFunc("/sessions/", s.instrument("/sessions/{id}", s.handleSession))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/spans", s.instrument("/debug/spans", s.handleSpans))
 	mux.HandleFunc("/debug/cache", s.instrument("/debug/cache", s.handleCache))
+	mux.HandleFunc("/debug/flightrecorder", s.instrument("/debug/flightrecorder", s.handleFlight))
 	return mux
 }
 
@@ -321,6 +388,15 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.httpInFlight.Inc()
 		start := time.Now()
 		ctx := obs.WithSink(r.Context(), s.spans)
+		// W3C trace context: honor a caller-supplied traceparent, mint an
+		// ID otherwise. Installing it before StartSpan binds the root span
+		// (and every profile downstream) to the caller's correlation ID.
+		tid, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			tid = obs.NewTraceID()
+		}
+		ctx = obs.WithTraceID(ctx, tid)
+		w.Header().Set("traceparent", obs.Traceparent(tid, obs.NewSpanID()))
 		ctx, span := obs.StartSpan(ctx, "http "+r.Method+" "+route)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		// All bookkeeping is deferred so a panicking handler still ends
@@ -338,6 +414,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			span.SetAttr("path", r.URL.Path)
 			span.End()
 			ri.observe(time.Since(start), sw.status)
+			if sw.status >= 500 {
+				s.flightTrigger("http_5xx")
+			}
 		}()
 		h(sw, r.WithContext(ctx))
 	}
@@ -375,14 +454,59 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// debugFilters parses the shared ?limit=N and ?trace=<id> query filters
+// of the /debug endpoints. It reports ok=false after writing a 400.
+func debugFilters(w http.ResponseWriter, r *http.Request) (trace string, limit int, ok bool) {
+	q := r.URL.Query()
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return "", 0, false
+		}
+		limit = n
+	}
+	return q.Get("trace"), limit, true
+}
+
 // handleSpans serves the most recent request span trees, newest first.
+// ?trace=<id> keeps only roots collected under that trace ID; ?limit=N
+// truncates to the newest N.
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"spans": s.spans.Snapshot()})
+	trace, limit, ok := debugFilters(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"spans": s.spans.SnapshotFiltered(obs.TraceID(trace), limit),
+	})
+}
+
+// handleFlight serves the live flight-recorder ring, newest first, with
+// the same ?limit / ?trace filters as /debug/spans, plus the dump and
+// rate-limit-suppression counts.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	trace, limit, ok := debugFilters(w, r)
+	if !ok {
+		return
+	}
+	dumps, suppressed := s.flight.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events":        s.flight.Snapshot(trace, limit),
+		"dumps":         dumps,
+		"suppressed":    suppressed,
+		"dumps_enabled": s.flight.DumpsEnabled(),
+	})
 }
 
 // createSessionRequest selects the exploration mode.
@@ -518,7 +642,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	case action == "" && r.Method == http.MethodDelete:
 		s.handleDelete(w, id)
 	case action == "step" && r.Method == http.MethodGet:
-		s.handleStep(w, r, e)
+		s.handleStep(w, r, id, e)
 	case action == "apply" && r.Method == http.MethodPost:
 		s.handleApply(w, r, e)
 	case action == "summary" && r.Method == http.MethodGet:
@@ -581,35 +705,70 @@ func (s *Server) vegaSpec(e *sessionEntry, n int) (spec []byte, status int, errM
 	return spec, http.StatusOK, ""
 }
 
-func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, e *sessionEntry) {
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, id int, e *sessionEntry) {
 	// One session is single-threaded: the paper's UI issues one step at a
 	// time. A second concurrent step/apply on the same session is a
 	// client bug — reject it immediately with 409 instead of queueing
 	// compute. The per-session lock means a slow step here never blocks
 	// other sessions or /healthz. The request context carries the span
 	// sink installed by the middleware (so the step's span tree hangs off
-	// the HTTP root span) and the request's cancellation, which the
-	// engine honors at phase boundaries.
+	// the HTTP root span), the trace ID (so the step profile and wide
+	// event correlate with the caller's traceparent), and the request's
+	// cancellation, which the engine honors at phase boundaries.
 	if !e.mu.TryLock() {
 		s.busyRejected.Inc()
 		writeError(w, http.StatusConflict, "session busy: a step or apply is already in flight")
 		return
 	}
-	defer e.mu.Unlock()
+	stepStart := time.Now()
 	step, err := e.sess.StepCtx(r.Context())
+	var payload StepJSON
+	if err == nil {
+		payload = s.stepJSON(e.sess, step, r.URL.Query().Get("explain") == "1")
+	}
+	// Everything below — the wide event, dump triggers, the response —
+	// happens outside the session lock: flight dumps do file I/O and the
+	// response write blocks on the client.
+	e.mu.Unlock()
+	durMS := float64(time.Since(stepStart).Microseconds()) / 1000
+	tid := string(obs.TraceIDFrom(r.Context()))
 	if err != nil {
+		status := http.StatusInternalServerError
+		msg := err.Error()
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			// The deadline fired before the engine completed a single
 			// phase: there is no prefix to degrade to.
 			s.stepTimeouts.Inc()
-			writeError(w, http.StatusGatewayTimeout,
-				"step deadline exceeded before any phase boundary; retry or raise -step-timeout")
-			return
+			status = http.StatusGatewayTimeout
+			msg = "step deadline exceeded before any phase boundary; retry or raise -step-timeout"
 		}
-		writeError(w, http.StatusInternalServerError, err.Error())
+		s.flight.Record(obs.NewWideEvent().
+			Set("op", "step").
+			Set("session", id).
+			Set("trace_id", tid).
+			Set("status", status).
+			Set("duration_ms", durMS).
+			Set("error", msg))
+		// The middleware's 5xx trigger fires the dump once this error is
+		// written; recording first puts the failing step in the dumped ring.
+		writeError(w, status, msg)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.stepJSON(e.sess, step))
+	s.flight.Record(obs.NewWideEvent().
+		Set("op", "step").
+		Set("session", id).
+		Set("trace_id", tid).
+		Set("status", http.StatusOK).
+		Set("duration_ms", durMS).
+		Set("degraded", step.Degraded).
+		Set("selection", payload.Selection).
+		Set("gen_ms", payload.GenMillis).
+		Set("rec_ms", payload.RecMillis).
+		Set("records_processed", step.RecordsProcessed))
+	if step.Degraded {
+		s.flightTrigger("degraded_step")
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // applyRequest moves a session: exactly one of the fields is used.
@@ -709,6 +868,12 @@ type StepJSON struct {
 	// may be missing). Clients should render it as a best-effort answer.
 	Degraded         bool `json:"degraded"`
 	RecordsProcessed int  `json:"records_processed,omitempty"`
+	// TraceID is the correlation ID the step ran under — the caller's
+	// traceparent trace ID, or a server-minted one. Resolve it against
+	// /debug/spans?trace= and /debug/flightrecorder?trace=.
+	TraceID string `json:"trace_id,omitempty"`
+	// Profile is the step's EXPLAIN record, present only under ?explain=1.
+	Profile *core.StepProfile `json:"profile,omitempty"`
 }
 
 // MapJSON is one rating map.
@@ -742,7 +907,7 @@ type RecommendationJSON struct {
 	Target    string  `json:"target"`
 }
 
-func (s *Server) stepJSON(sess *core.Session, step *core.StepResult) StepJSON {
+func (s *Server) stepJSON(sess *core.Session, step *core.StepResult, explain bool) StepJSON {
 	out := StepJSON{
 		Selection:        step.Desc.String(),
 		GroupSize:        step.GroupSize,
@@ -752,6 +917,10 @@ func (s *Server) stepJSON(sess *core.Session, step *core.StepResult) StepJSON {
 		RecMillis:        float64(step.RecDuration.Microseconds()) / 1000,
 		Degraded:         step.Degraded,
 		RecordsProcessed: step.RecordsProcessed,
+		TraceID:          step.TraceID,
+	}
+	if explain {
+		out.Profile = step.Profile
 	}
 	for i, rm := range step.Maps {
 		out.Maps = append(out.Maps, s.mapJSON(sess, rm, step.Utilities[i]))

@@ -53,6 +53,11 @@ type Event struct {
 	// the group (version-1 compatible: absent means a complete scan).
 	Degraded         bool `json:"degraded,omitempty"`
 	RecordsProcessed int  `json:"records_processed,omitempty"`
+	// TraceID is the correlation ID the step ran under, linking the logged
+	// step to its engine spans (/debug/spans?trace=) and flight-recorder
+	// wide event. Deliberately excluded from golden-trace records, which
+	// compare runs under different IDs.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Trace is an ordered session log.
@@ -82,6 +87,7 @@ func FromSession(sess *core.Session) *Trace {
 			PrunedMAB:        st.PrunedMAB,
 			Degraded:         st.Degraded,
 			RecordsProcessed: st.RecordsProcessed,
+			TraceID:          st.TraceID,
 		}
 		for j, rm := range st.Maps {
 			ev.Maps = append(ev.Maps, fmt.Sprintf("%s.%s/%s", rm.Side, rm.Attr, rm.DimName))

@@ -20,6 +20,8 @@ import (
 	"context"
 	"fmt"
 	"strings"
+
+	"subdex/internal/core"
 )
 
 // StepView is the mode-independent normal form of one step display. The
@@ -39,6 +41,14 @@ type StepView struct {
 	Degraded bool
 	// RecordsProcessed counts the records the engine folded in.
 	RecordsProcessed int
+	// TraceID is the correlation ID the step ran under. Both clients
+	// surface the same ID for the same step (the HTTP client propagates it
+	// via traceparent), but it stays out of golden records: goldens
+	// compare runs, and different runs legitimately carry different IDs.
+	TraceID string
+	// Profile is the step's EXPLAIN record (the HTTP client requests it
+	// with ?explain=1 on every step).
+	Profile *core.StepProfile
 }
 
 // MapView is one displayed rating map.

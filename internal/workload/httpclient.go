@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 
+	"subdex/internal/obs"
 	"subdex/internal/server"
 )
 
@@ -47,10 +48,12 @@ func NewHTTPClient(ctx context.Context, base string, hc *http.Client, mode, pred
 // SessionID returns the server-assigned session id.
 func (c *HTTPClient) SessionID() int { return c.id }
 
-// Step implements Client.
+// Step implements Client. It always requests the EXPLAIN profile: the
+// extra payload is a few hundred bytes, and the workload harness needs it
+// to record slow-step exemplars.
 func (c *HTTPClient) Step(ctx context.Context) (*StepView, error) {
 	var sj server.StepJSON
-	if err := c.do(ctx, http.MethodGet, c.path("step"), nil, &sj); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.path("step")+"?explain=1", nil, &sj); err != nil {
 		return nil, err
 	}
 	return viewFromJSON(&sj), nil
@@ -145,6 +148,15 @@ func (c *HTTPClient) do(ctx context.Context, method, path string, body, out any)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// W3C trace-context propagation: a trace ID installed in the context
+	// (the workload harness derives one per step) rides the request, so
+	// the server's spans, profile, and flight-recorder wide event carry
+	// the same ID the client logs.
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		if tp := obs.Traceparent(tid, obs.NewSpanID()); tp != "" {
+			req.Header.Set("traceparent", tp)
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -178,6 +190,8 @@ func viewFromJSON(sj *server.StepJSON) *StepView {
 		GroupSize:        sj.GroupSize,
 		Degraded:         sj.Degraded,
 		RecordsProcessed: sj.RecordsProcessed,
+		TraceID:          sj.TraceID,
+		Profile:          sj.Profile,
 	}
 	for _, m := range sj.Maps {
 		mv := MapView{

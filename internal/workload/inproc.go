@@ -112,6 +112,8 @@ func (c *InprocClient) view(st *core.StepResult) *StepView {
 		GroupSize:        st.GroupSize,
 		Degraded:         st.Degraded,
 		RecordsProcessed: st.RecordsProcessed,
+		TraceID:          st.TraceID,
+		Profile:          st.Profile,
 	}
 	for i, rm := range st.Maps {
 		mv := MapView{

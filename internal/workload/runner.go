@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"subdex/internal/core"
+	"subdex/internal/obs"
 )
 
 // Config parameterizes a simulated-explorer population.
@@ -45,6 +46,12 @@ type Config struct {
 	// Record retains per-step golden-trace records on each UserResult.
 	// Leave it off for soak runs (it accumulates memory per step).
 	Record bool
+	// Flight, when non-nil, receives one client-side wide event per
+	// step-producing call (the client half of trace correlation).
+	Flight *obs.FlightRecorder
+	// ExemplarK keeps the K slowest step calls — trace IDs and EXPLAIN
+	// profiles included — across the population (0 disables).
+	ExemplarK int
 }
 
 func (c Config) normalized() Config {
@@ -80,6 +87,9 @@ type Result struct {
 	Steps    int
 	Degraded int
 	Errors   ErrorCounts
+	// Exemplars are the population's ExemplarK slowest step calls, sorted
+	// by descending duration (empty unless Config.ExemplarK > 0).
+	Exemplars []Exemplar
 }
 
 // Failures lists the terminal per-user errors ("" entries excluded).
@@ -152,11 +162,14 @@ func Run(ctx context.Context, cfg Config, newClient ClientFactory) (*Result, err
 	}
 	wg.Wait()
 	res := &Result{Users: results, Wall: time.Since(start)}
+	lists := make([][]Exemplar, 0, len(results))
 	for _, u := range results {
 		res.Steps += u.Steps
 		res.Degraded += u.Degraded
 		res.Errors.add(u.Errors)
+		lists = append(lists, u.Exemplars)
 	}
+	res.Exemplars = mergeExemplars(lists, cfg.ExemplarK)
 	return res, nil
 }
 
@@ -201,14 +214,17 @@ func runUser(ctx context.Context, cfg Config, id int, newClient ClientFactory) *
 func newUser(cfg Config, id int) *user {
 	base := cfg.Seed + int64(id)<<20
 	return &user{
-		id:      id,
-		steps:   cfg.StepsPerUser,
-		mix:     cfg.Mix,
-		autoLen: cfg.AutoLen,
-		guided:  cfg.Mode != core.UserDriven,
-		think:   cfg.Think,
-		record:  cfg.Record,
-		ops:     rand.New(rand.NewSource(base*2 + 1)),
-		thinkRN: rand.New(rand.NewSource(base*2 + 2)),
+		id:        id,
+		steps:     cfg.StepsPerUser,
+		mix:       cfg.Mix,
+		autoLen:   cfg.AutoLen,
+		guided:    cfg.Mode != core.UserDriven,
+		think:     cfg.Think,
+		record:    cfg.Record,
+		ops:       rand.New(rand.NewSource(base*2 + 1)),
+		thinkRN:   rand.New(rand.NewSource(base*2 + 2)),
+		base:      base,
+		flight:    cfg.Flight,
+		exemplarK: cfg.ExemplarK,
 	}
 }

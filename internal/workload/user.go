@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"subdex/internal/dataset"
+	"subdex/internal/obs"
 )
 
 // Mix weighs the operations a virtual user picks from after reading a
@@ -149,6 +150,48 @@ type user struct {
 	record  bool
 	ops     *rand.Rand
 	thinkRN *rand.Rand
+	// base is the user's seed base; trace IDs derive from it (see opCtx).
+	base int64
+	// traceSeq numbers the user's step-producing calls for ID derivation.
+	traceSeq uint64
+	// flight, when non-nil, receives one client-side wide event per
+	// step-producing call.
+	flight *obs.FlightRecorder
+	// exemplarK keeps the K slowest calls as exemplars (0 disables).
+	exemplarK int
+}
+
+// opCtx derives the next step-producing call's deterministic trace ID
+// from (seed base, user, call sequence) and installs it in the context.
+// Derivation consumes no RNG draws, so tracing can never perturb which
+// path a seed produces.
+func (u *user) opCtx(ctx context.Context) (context.Context, string) {
+	u.traceSeq++
+	tid := obs.DeriveTraceID(uint64(u.base), uint64(u.id), u.traceSeq)
+	return obs.WithTraceID(ctx, tid), string(tid)
+}
+
+// telemetry records one completed step-producing call: a wide event into
+// the flight recorder (when wired) and a slow-call exemplar.
+func (u *user) telemetry(res *UserResult, op, tid string, dur time.Duration, degraded bool, profile *StepView) {
+	durMS := float64(dur.Microseconds()) / 1000
+	if u.flight != nil {
+		u.flight.Record(obs.NewWideEvent().
+			Set("op", op).
+			Set("user", u.id).
+			Set("step", res.Steps).
+			Set("trace_id", tid).
+			Set("duration_ms", durMS).
+			Set("degraded", degraded))
+	}
+	if u.exemplarK > 0 {
+		ex := Exemplar{User: u.id, Step: res.Steps, Op: op,
+			DurationMS: durMS, TraceID: tid, Degraded: degraded}
+		if profile != nil {
+			ex.Profile = profile.Profile
+		}
+		res.Exemplars = insertExemplar(res.Exemplars, ex, u.exemplarK)
+	}
 }
 
 // UserResult is what one virtual user's walk produced.
@@ -169,6 +212,9 @@ type UserResult struct {
 	// Summary is the session's final path summary (nil if the session
 	// never became usable).
 	Summary *SummaryView
+	// Exemplars are the user's slowest step calls (when configured),
+	// sorted by descending duration.
+	Exemplars []Exemplar
 }
 
 // run executes the closed loop until the step budget is exhausted, the
@@ -181,7 +227,9 @@ loop:
 		if ctx.Err() != nil {
 			break
 		}
-		sv, err := c.Step(ctx)
+		stepCtx, tid := u.opCtx(ctx)
+		stepStart := time.Now()
+		sv, err := c.Step(stepCtx)
 		if err != nil {
 			if ctx.Err() != nil {
 				break // soak deadline: clean stop
@@ -193,6 +241,7 @@ loop:
 			continue
 		}
 		u.note(res, sv, "")
+		u.telemetry(res, "step", tid, time.Since(stepStart), sv.Degraded, sv)
 		if res.Steps >= u.steps {
 			break
 		}
@@ -232,13 +281,23 @@ loop:
 				m = rem
 			}
 			u.label(res, fmt.Sprintf("auto:%d", m))
-			views, err := c.Auto(ctx, m)
+			autoCtx, autoTID := u.opCtx(ctx)
+			autoStart := time.Now()
+			views, err := c.Auto(autoCtx, m)
+			anyDegraded := false
 			for i, av := range views {
 				op := ""
 				if i < len(views)-1 {
 					op = "auto:recommend:0"
 				}
 				u.note(res, av, op)
+				anyDegraded = anyDegraded || av.Degraded
+			}
+			if len(views) > 0 {
+				// One exemplar per burst: the burst's wall time under one
+				// trace ID, profiled by its last step.
+				u.telemetry(res, "auto", autoTID, time.Since(autoStart),
+					anyDegraded, views[len(views)-1])
 			}
 			if len(views) > 1 {
 				hist += len(views) - 1

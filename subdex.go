@@ -48,6 +48,11 @@ type (
 	Session = core.Session
 	// StepResult is a step's display: maps, utilities, recommendations.
 	StepResult = core.StepResult
+	// StepProfile is a step's EXPLAIN record: phase timings, scan and
+	// prune counts, cache outcome, and the trace ID the step ran under.
+	StepProfile = core.StepProfile
+	// EngineProfile is the engine half of a StepProfile.
+	EngineProfile = engine.Profile
 	// Recommendation is a ranked next-step operation.
 	Recommendation = core.Recommendation
 	// Mode selects User-Driven, Recommendation-Powered or Fully-Automated.
