@@ -9,6 +9,15 @@
 //	sdeload -generate yelp -scale 0.05 -mode http -users 64 -duration 30s -ramp 5s
 //	sdeload -target http://localhost:8080 -users 16 -duration 1m -think 200ms
 //	sdeload -generate demo -users 8 -step-timeout 5ms -fault-every 3 -fault-delay 10ms
+//	sdeload -soak-kill -generate yelp -scale 0.05 -seed 7 -users 8 -steps 10
+//
+// -soak-kill is the durability soak: it runs the workload against a
+// self-hosted child server backed by a write-ahead session store,
+// SIGKILLs the child mid-run, restarts it on the same address and
+// store directory, and fails unless every user's golden trace is
+// byte-identical to an uninterrupted run, at least one session was
+// recovered by WAL replay, and the durable run's p99 session-route
+// latency stays within -wal-overhead of a store-less baseline.
 //
 // Every run with the same -seed replays the same population paths (think
 // pacing and fault injection never perturb which operations a user
@@ -69,6 +78,18 @@ func main() {
 		benchout  = flag.String("benchout", "BENCH_serving.json", "output path for the machine-readable bench artifact ('' disables)")
 		flightDir = flag.String("flight-dir", "", "directory for flight-recorder dumps on SLO breach ('' disables; self-hosted modes only)")
 		exemplars = flag.Int("exemplars", 5, "record the K slowest steps' trace IDs and EXPLAIN profiles as exemplars (0 disables)")
+
+		soakKill = flag.Bool("soak-kill", false,
+			"run the kill-and-resume durability soak: self-host a child server with a durable session store, SIGKILL it mid-run, restart it on the same address and store, and assert zero golden-trace divergence plus SLOs over the merged lifetimes")
+		killFrac = flag.Float64("kill-frac", 0.5,
+			"fraction of the population step budget after which -soak-kill fires the SIGKILL")
+		walOverhead = flag.Float64("wal-overhead", 0.10,
+			"fail -soak-kill if the durable run's p99 session-route latency exceeds the baseline's by more than this fraction")
+		sessionDir = flag.String("session-dir", "",
+			"session store directory for -soak-kill (default: a temp dir, removed on pass, kept on failure)")
+
+		childServe = flag.Bool("child-serve", false, "internal: serve as the -soak-kill child server process")
+		childAddr  = flag.String("child-addr", "", "internal: -child-serve listen address")
 	)
 	flag.Parse()
 	if err := run(context.Background(), options{
@@ -82,6 +103,8 @@ func main() {
 		sloP95: *sloP95, sloP99: *sloP99,
 		sloErrRate: *sloErrRate, sloDegRate: *sloDegRate, sloMinSteps: *sloMinSteps,
 		benchout: *benchout, flightDir: *flightDir, exemplars: *exemplars,
+		soakKill: *soakKill, killFrac: *killFrac, walOverhead: *walOverhead,
+		sessionDir: *sessionDir, childServe: *childServe, childAddr: *childAddr,
 	}); err != nil {
 		code := 1
 		var ue usageError
@@ -136,6 +159,12 @@ type options struct {
 	benchout    string
 	flightDir   string
 	exemplars   int
+	soakKill    bool
+	killFrac    float64
+	walOverhead float64
+	sessionDir  string
+	childServe  bool
+	childAddr   string
 }
 
 // benchReport is the BENCH_serving.json artifact.
@@ -175,6 +204,10 @@ type benchReport struct {
 	// produced, when -flight-dir was set.
 	FlightDump string `json:"flight_dump,omitempty"`
 
+	// Recovery is the kill-and-resume soak's extra section (-soak-kill
+	// runs only).
+	Recovery *recoveryReport `json:"recovery,omitempty"`
+
 	// Version, Commit, and GoVersion identify the binary that produced
 	// the artifact (mirroring the subdex_build_info gauge).
 	Version   string `json:"version"`
@@ -191,6 +224,12 @@ type sloCheck struct {
 }
 
 func run(ctx context.Context, o options) error {
+	if o.childServe {
+		return runChildServe(o)
+	}
+	if o.soakKill {
+		return runSoakKill(ctx, o)
+	}
 	sessMode, err := parseSessionMode(o.sessionMode)
 	if err != nil {
 		return err
@@ -313,14 +352,9 @@ func run(ctx context.Context, o options) error {
 	}
 	render(os.Stdout, res, rep)
 	if o.benchout != "" {
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
+		if err := writeBench(o.benchout, rep); err != nil {
 			return err
 		}
-		if err := os.WriteFile(o.benchout, append(buf, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", o.benchout)
 	}
 	if fails := res.Failures(); len(fails) != 0 {
 		n := len(fails)
@@ -332,6 +366,19 @@ func run(ctx context.Context, o options) error {
 	if !rep.SLOPass {
 		return fmt.Errorf("SLO breach: %s", describeBreaches(rep.SLOChecks))
 	}
+	return nil
+}
+
+// writeBench serializes the bench artifact.
+func writeBench(path string, rep *benchReport) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -27,6 +27,15 @@
 // caps live sessions (429 + Retry-After on breach), and -session-ttl
 // evicts idle sessions. The listener itself runs with read-header, read
 // and idle timeouts so stalled clients cannot pin connections.
+//
+// With -session-dir, sessions are durable: every applied operation is
+// appended to a crash-safe write-ahead log under that directory before
+// the response is sent, a restarted daemon replays the log through the
+// engine and resumes every session exactly (same ids, same step
+// digests), and the idle janitor sheds sessions to the store instead of
+// destroying them — the next request restores them transparently:
+//
+//	subdexd -generate yelp -scale 0.05 -addr :8080 -session-dir /var/lib/subdex
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"subdex/internal/dataset"
 	"subdex/internal/gen"
 	"subdex/internal/server"
+	"subdex/internal/sessionstore"
 )
 
 func main() {
@@ -68,6 +78,8 @@ func main() {
 			"evict sessions idle longer than this (0 = never)")
 		flightDir = flag.String("flight-dir", "",
 			"directory for flight-recorder dumps on 5xx responses and degraded steps; the live ring is always served at /debug/flightrecorder (empty = dumps disabled)")
+		sessionDir = flag.String("session-dir", "",
+			"directory for the durable session store (write-ahead log + snapshots); on boot every stored session is replayed through the engine and resumed exactly, and idle sessions are shed here instead of destroyed (empty = sessions are process-lifetime only)")
 	)
 	flag.Parse()
 
@@ -80,10 +92,28 @@ func main() {
 	cfg.K, cfg.O, cfg.L = *k, *o, *l
 	cfg.StepTimeout = *stepTimeout
 
+	var store sessionstore.Store
+	if *sessionDir != "" {
+		fs, err := sessionstore.Open(*sessionDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "subdexd:", err)
+			os.Exit(1)
+		}
+		defer fs.Close()
+		if rec := fs.Recovery(); rec.Records > 0 || rec.Truncated {
+			fmt.Printf("subdexd: session store %s: %d records replayed, %d sessions recovered", *sessionDir, rec.Records, rec.Sessions)
+			if rec.Truncated {
+				fmt.Printf(" (corrupt tail truncated at byte %d: %s)", rec.TruncatedAt, rec.Reason)
+			}
+			fmt.Println()
+		}
+		store = fs
+	}
 	srv, err := server.NewWithOptions(db, cfg, server.Options{
 		MaxSessions: *maxSessions,
 		SessionTTL:  *sessionTTL,
 		FlightDir:   *flightDir,
+		Store:       store,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "subdexd:", err)

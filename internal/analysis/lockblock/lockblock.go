@@ -25,6 +25,16 @@
 // Listen*/Lookup*, Conn/Listener I/O) plus writes to an
 // http.ResponseWriter (Write/WriteHeader), which block on the client's
 // receive window.
+//
+// In the packages listed in fileIOCriticalPkgs the check additionally
+// forbids file I/O (os.WriteFile/Create/OpenFile/Rename/Remove/MkdirAll
+// and the write-side os.File methods, Sync above all) while a mutex is
+// held: an fsync can take tens of milliseconds, and PR 7's durable
+// session layer depends on the server never holding the session or
+// registry mutex across one. internal/sessionstore is deliberately NOT
+// in the list — appending to the WAL under its writer mutex is that
+// package's whole job (it moves the Sync itself outside the lock, a
+// discipline pinned by its own tests, not by this analyzer).
 package lockblock
 
 import (
@@ -39,8 +49,24 @@ import (
 // Analyzer is the lockblock check.
 var Analyzer = &framework.Analyzer{
 	Name: "lockblock",
-	Doc:  "no channel ops, WaitGroup.Wait, time.Sleep, or network/HTTP calls while a sync.Mutex/RWMutex is held",
+	Doc:  "no channel ops, WaitGroup.Wait, time.Sleep, network/HTTP calls, or (in lock-latency-critical packages) file I/O while a sync.Mutex/RWMutex is held",
 	Run:  run,
+}
+
+// fileIOCriticalPkgs are the package-path suffixes where file I/O under
+// a held mutex is also a finding. internal/sessionstore is exempt by
+// design: see the package comment.
+var fileIOCriticalPkgs = []string{"internal/server", "internal/obs", "internal/core"}
+
+// fileIOCritical reports whether the package being analyzed is under the
+// no-file-I/O-under-lock contract.
+func fileIOCritical(path string) bool {
+	for _, suffix := range fileIOCriticalPkgs {
+		if framework.PathHasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 func run(pass *framework.Pass) error {
@@ -359,6 +385,22 @@ func blockingCall(pass *framework.Pass, call *ast.CallExpr) string {
 			}
 		case "Conn", "TCPConn", "UDPConn", "UnixConn", "Listener", "TCPListener", "UnixListener", "Dialer", "Resolver":
 			return "net " + recvName + "." + name + " call"
+		}
+	case "os":
+		if !fileIOCritical(pass.Path()) {
+			return ""
+		}
+		switch recvName {
+		case "":
+			switch name {
+			case "WriteFile", "Create", "OpenFile", "Rename", "Remove", "RemoveAll", "MkdirAll", "Mkdir":
+				return "os." + name + " file I/O"
+			}
+		case "File":
+			switch name {
+			case "Write", "WriteString", "WriteAt", "Sync", "Truncate":
+				return "os.File." + name + " file I/O"
+			}
 		}
 	}
 	return ""

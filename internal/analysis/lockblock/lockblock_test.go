@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockBlock(t *testing.T) {
-	analysistest.Run(t, "testdata", lockblock.Analyzer, "lb")
+	analysistest.Run(t, "testdata", lockblock.Analyzer, "lb", "internal/server", "internal/sessionstore")
 }

@@ -1,0 +1,77 @@
+// Package server stands in for subdex/internal/server: a
+// fileIOCritical package where file I/O under a held mutex is a
+// finding, in addition to the blocking operations flagged everywhere.
+package server
+
+import (
+	"os"
+	"sync"
+)
+
+// Registry is a guarded structure whose critical sections must never
+// reach the filesystem.
+type Registry struct {
+	mu       sync.Mutex
+	sessions map[int]string
+	log      *os.File
+}
+
+// Good persists outside the critical section: mutate under the lock,
+// write after releasing it.
+func (r *Registry) Good(id int) error {
+	r.mu.Lock()
+	r.sessions[id] = "x"
+	r.mu.Unlock()
+	if err := os.WriteFile("state.json", nil, 0o644); err != nil { // no want: lock released
+		return err
+	}
+	return r.log.Sync() // no want: lock released
+}
+
+// WriteFileUnderLock persists while holding the registry lock.
+func (r *Registry) WriteFileUnderLock(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sessions[id] = "x"
+	return os.WriteFile("state.json", nil, 0o644) // want `os.WriteFile file I/O while r.mu is held`
+}
+
+// SyncUnderLock fsyncs inside the critical section — the worst case:
+// every waiter stalls on disk latency.
+func (r *Registry) SyncUnderLock() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Sync() // want `os.File.Sync file I/O while r.mu is held`
+}
+
+// AppendUnderLock writes through the held lock.
+func (r *Registry) AppendUnderLock(line []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.log.Write(line) // want `os.File.Write file I/O while r.mu is held`
+	return err
+}
+
+// RotateUnderLock renames and reopens with the lock held.
+func (r *Registry) RotateUnderLock() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := os.Rename("log", "log.old"); err != nil { // want `os.Rename file I/O while r.mu is held`
+		return err
+	}
+	f, err := os.OpenFile("log", os.O_RDWR|os.O_CREATE, 0o644) // want `os.OpenFile file I/O while r.mu is held`
+	if err != nil {
+		return err
+	}
+	r.log = f
+	return nil
+}
+
+// MkdirUnderTryLock covers the TryLock success branch.
+func (r *Registry) MkdirUnderTryLock() error {
+	if r.mu.TryLock() {
+		defer r.mu.Unlock()
+		return os.MkdirAll("dumps", 0o755) // want `os.MkdirAll file I/O while r.mu is held`
+	}
+	return nil
+}

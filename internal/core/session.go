@@ -31,6 +31,9 @@ type Session struct {
 	steps   []*StepResult
 	rb      RecommendationBuilder
 	history []query.Description // selections visited, for Back
+
+	start query.Description // the selection the session began at
+	oplog []SessionOp       // every committed operation, for snapshot/replay
 }
 
 // NewSession starts a session at the given description (use the zero
@@ -40,8 +43,8 @@ func NewSession(ex *Explorer, mode Mode, start query.Description) (*Session, err
 		return nil, err
 	}
 	ex.Ins.sessionStarted()
-	return &Session{Ex: ex, Mode: mode, cur: start, seen: ratingmap.NewSeenSet(),
-		rb: RecommendationBuilder{Ex: ex}}, nil
+	return &Session{Ex: ex, Mode: mode, cur: start, start: start,
+		seen: ratingmap.NewSeenSet(), rb: RecommendationBuilder{Ex: ex}}, nil
 }
 
 // Current returns the session's current description.
@@ -131,6 +134,7 @@ func (s *Session) StepCtx(ctx context.Context) (*StepResult, error) {
 	}
 	s.finishProfile(ctx, res)
 	s.steps = append(s.steps, res)
+	s.oplog = append(s.oplog, stepOp(res))
 	s.Ex.Ins.stepDone(time.Since(start), res.GenDuration, res.RecDuration, len(res.RecOpDurations), res.Degraded)
 	return res, nil
 }
@@ -176,6 +180,16 @@ func (s *Session) Apply(op query.Operation) error {
 // user-provided operation path, including the advanced SQL screen). The
 // previous selection is pushed onto the Back history.
 func (s *Session) ApplyDescription(d query.Description) error {
+	if err := s.applyDescription(d); err != nil {
+		return err
+	}
+	s.oplog = append(s.oplog, SessionOp{Kind: OpApply, Predicate: d.String()})
+	return nil
+}
+
+// applyDescription is ApplyDescription without the op-log record; the
+// recommendation path logs an index-based op instead.
+func (s *Session) applyDescription(d query.Description) error {
 	if err := s.Ex.Query.Validate(d); err != nil {
 		return err
 	}
@@ -200,6 +214,7 @@ func (s *Session) Back() bool {
 	}
 	s.cur = s.history[len(s.history)-1]
 	s.history = s.history[:len(s.history)-1]
+	s.oplog = append(s.oplog, SessionOp{Kind: OpBack})
 	return true
 }
 
@@ -212,7 +227,11 @@ func (s *Session) ApplyRecommendation(i int) error {
 	if i < 0 || i >= len(last.Recommendations) {
 		return fmt.Errorf("core: recommendation index %d out of range (have %d)", i, len(last.Recommendations))
 	}
-	return s.Apply(last.Recommendations[i].Op)
+	if err := s.applyDescription(last.Recommendations[i].Op.Target); err != nil {
+		return err
+	}
+	s.oplog = append(s.oplog, SessionOp{Kind: OpRecommend, Index: i})
+	return nil
 }
 
 // Auto runs a Fully-Automated exploration of m steps from the current
@@ -251,7 +270,9 @@ func (s *Session) AutoCtx(ctx context.Context, m int) ([]*StepResult, error) {
 		if len(res.Recommendations) == 0 {
 			break
 		}
-		if err := s.Apply(res.Recommendations[0].Op); err != nil {
+		// Committed as an index op (not the target predicate), so the
+		// session log replays the auto-pilot's choice structurally.
+		if err := s.ApplyRecommendation(0); err != nil {
 			return out, err
 		}
 	}

@@ -388,6 +388,17 @@ func (s *SeenSet) Add(rm *RatingMap) {
 	s.total++
 }
 
+// AddDist records a displayed map by its pooled distribution and
+// dimension alone. This is the degraded-step replay path: an anytime
+// result's partial scan cannot be re-run deterministically, so session
+// recovery re-applies its recorded observable effect on the history
+// instead of recomputing it.
+func (s *SeenSet) AddDist(dim int, dist []float64) {
+	s.dists = append(s.dists, stats.Distribution(append([]float64(nil), dist...)))
+	s.dimCount[dim]++
+	s.total++
+}
+
 // Total returns the number of maps seen (m in Equation 1).
 func (s *SeenSet) Total() int { return s.total }
 
@@ -424,6 +435,77 @@ func (s *SeenSet) Weights(numDims int) []float64 {
 		w[d] = float64(s.dimCount[d]) / float64(s.total)
 	}
 	return w
+}
+
+// SeenState is the serializable form of a SeenSet: the pooled
+// distributions in display order, the per-dimension counts, and the
+// total. It exists so session snapshots can both persist the history
+// and verify that a replayed session reconstructed it exactly.
+type SeenState struct {
+	Dists [][]float64 `json:"dists,omitempty"`
+	Dims  map[int]int `json:"dims,omitempty"`
+	Total int         `json:"total"`
+}
+
+// State exports the history for serialization.
+func (s *SeenSet) State() SeenState {
+	st := SeenState{Total: s.total}
+	if len(s.dists) > 0 {
+		st.Dists = make([][]float64, len(s.dists))
+		for i, d := range s.dists {
+			st.Dists[i] = append([]float64(nil), d...)
+		}
+	}
+	if len(s.dimCount) > 0 {
+		st.Dims = make(map[int]int, len(s.dimCount))
+		//subdex:orderinsensitive keyed map copy: every write targets its own key, order cannot change the result
+		for d, n := range s.dimCount {
+			st.Dims[d] = n
+		}
+	}
+	return st
+}
+
+// RestoreSeenSet rebuilds a SeenSet from its exported state.
+func RestoreSeenSet(st SeenState) *SeenSet {
+	s := NewSeenSet()
+	for _, d := range st.Dists {
+		s.dists = append(s.dists, stats.Distribution(append([]float64(nil), d...)))
+	}
+	//subdex:orderinsensitive keyed map copy: every write targets its own key, order cannot change the result
+	for d, n := range st.Dims {
+		s.dimCount[d] = n
+	}
+	s.total = st.Total
+	return s
+}
+
+// EqualState reports whether the history matches an exported state
+// exactly — same distributions in the same order, same per-dimension
+// counts, same total. The engine is bit-deterministic, so replayed
+// sessions must match with float equality, not tolerance.
+func (s *SeenSet) EqualState(st SeenState) bool {
+	if s.total != st.Total || len(s.dists) != len(st.Dists) || len(s.dimCount) != len(st.Dims) {
+		return false
+	}
+	for i, d := range s.dists {
+		o := st.Dists[i]
+		if len(d) != len(o) {
+			return false
+		}
+		for j := range d {
+			if d[j] != o[j] {
+				return false
+			}
+		}
+	}
+	//subdex:orderinsensitive keyed map comparison: equality over all keys, order cannot change the verdict
+	for d, n := range s.dimCount {
+		if st.Dims[d] != n {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone returns an independent copy of the history, used when evaluating

@@ -1,0 +1,571 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"subdex/internal/core"
+	"subdex/internal/sessionstore"
+)
+
+// durableServer builds a server over an explicit store. Every call uses
+// the same dataset and config (via testServerWith/lightConfig) — restart
+// tests depend on the engine fingerprint matching across instances.
+func durableServer(t *testing.T, store sessionstore.Store, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	opts.Store = store
+	return testServerWith(t, lightConfig(), opts)
+}
+
+// stepBody GETs a step and returns its decoded payload.
+func stepBody(t *testing.T, ts *httptest.Server, id int, query string) (int, StepJSON) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/sessions/%d/step%s", ts.URL, id, query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sj StepJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sj
+}
+
+// summarySteps reads the session summary's step count.
+func summarySteps(t *testing.T, ts *httptest.Server, id int) int {
+	t.Helper()
+	var sum map[string]any
+	resp := getJSON(t, fmt.Sprintf("%s/sessions/%d/summary", ts.URL, id), &sum)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary: %d", resp.StatusCode)
+	}
+	return int(sum["steps"].(float64))
+}
+
+// TestDurableLifecyclePersisted pins log-before-respond: every answered
+// mutation is in the store by the time the response is read, and
+// rejected requests are never logged.
+func TestDurableLifecyclePersisted(t *testing.T) {
+	store := sessionstore.NewMemStore()
+	_, ts := durableServer(t, store, Options{})
+
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+	if snap, ok, _ := store.Get(id); !ok || len(snap.Ops) != 0 {
+		t.Fatalf("create not persisted: ok=%t %+v", ok, snap)
+	}
+
+	if code, _ := stepBody(t, ts, id, ""); code != http.StatusOK {
+		t.Fatalf("step: %d", code)
+	}
+	applyURL := fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id)
+	resp, _ := postJSON(t, applyURL, map[string]any{"predicate": "reviewers.gender = 'female'"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, applyURL, map[string]any{"back": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("back: %d", resp.StatusCode)
+	}
+
+	snap, ok, _ := store.Get(id)
+	if !ok || len(snap.Ops) != 3 {
+		t.Fatalf("persisted ops: ok=%t n=%d", ok, len(snap.Ops))
+	}
+	want := []core.OpKind{core.OpStep, core.OpApply, core.OpBack}
+	for i, k := range want {
+		if snap.Ops[i].Kind != k {
+			t.Errorf("op %d kind = %s, want %s", i, snap.Ops[i].Kind, k)
+		}
+	}
+	if len(snap.Ops[0].Digests) == 0 {
+		t.Error("step op must carry map digests")
+	}
+
+	// A Back on empty history answers 409 and must NOT be logged.
+	resp, _ = postJSON(t, applyURL, map[string]any{"back": true})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second back: %d, want 409", resp.StatusCode)
+	}
+	if snap, _, _ := store.Get(id); len(snap.Ops) != 3 {
+		t.Errorf("rejected op was logged: %d ops", len(snap.Ops))
+	}
+
+	// DELETE persists too.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", ts.URL, id), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	if _, ok, _ := store.Get(id); ok {
+		t.Error("delete not persisted")
+	}
+}
+
+// TestRestartResume is the recovery contract over a real file-backed WAL:
+// a second server over the same directory resumes the surviving session
+// exactly, keeps a deleted session deleted, and never re-issues an id.
+func TestRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := sessionstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := durableServer(t, store1, Options{})
+
+	_, created := postJSON(t, ts1.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+	if code, _ := stepBody(t, ts1, id, ""); code != http.StatusOK {
+		t.Fatalf("step: %d", code)
+	}
+	resp, _ := postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts1.URL, id),
+		map[string]any{"recommendation": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply recommendation: %d", resp.StatusCode)
+	}
+	steps1 := summarySteps(t, ts1, id)
+	// Leave a second, deleted session behind: it must stay deleted.
+	_, created2 := postJSON(t, ts1.URL+"/sessions", map[string]string{"mode": "ud"})
+	id2 := int(created2["id"].(float64))
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", ts1.URL, id2), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	ts1.Close()
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := sessionstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store2.Close() })
+	_, ts2 := durableServer(t, store2, Options{})
+	text := metricsText(t, ts2)
+	if !strings.Contains(text, "subdex_sessions_recovered_total 1") {
+		t.Errorf("recovered counter:\n%s", grepMetric(text, "recovered"))
+	}
+
+	if got := summarySteps(t, ts2, id); got != steps1 {
+		t.Errorf("resume lost steps: before %d, after %d", steps1, got)
+	}
+	// The recovered session keeps serving.
+	if code, sj := stepBody(t, ts2, id, ""); code != http.StatusOK || len(sj.Maps) == 0 {
+		t.Fatalf("step after restart: %d (%d maps)", code, len(sj.Maps))
+	}
+	if rcode, _ := stepBody(t, ts2, id2, ""); rcode != http.StatusNotFound {
+		t.Errorf("deleted session answered %d after restart, want 404", rcode)
+	}
+	// New sessions never reuse an id, even the deleted high-water one.
+	_, created3 := postJSON(t, ts2.URL+"/sessions", map[string]string{"mode": "ud"})
+	if id3 := int(created3["id"].(float64)); id3 <= id2 {
+		t.Errorf("id reuse after restart: got %d, had up to %d", id3, id2)
+	}
+}
+
+// TestRestartResumeExactDigests pins byte-exact resume end to end: the
+// maps a client sees for the same walk must be identical whether the
+// server restarted mid-walk or not.
+func TestRestartResumeExactDigests(t *testing.T) {
+	// Control: an uninterrupted walk (step, recommend, step).
+	_, control := durableServer(t, sessionstore.NewMemStore(), Options{})
+	_, created := postJSON(t, control.URL+"/sessions", map[string]string{"mode": "rp"})
+	cid := int(created["id"].(float64))
+	if code, _ := stepBody(t, control, cid, ""); code != http.StatusOK {
+		t.Fatalf("control step 1: %d", code)
+	}
+	resp, _ := postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", control.URL, cid),
+		map[string]any{"recommendation": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("control apply: %d", resp.StatusCode)
+	}
+	code, want := stepBody(t, control, cid, "")
+	if code != http.StatusOK || len(want.Maps) == 0 {
+		t.Fatalf("control step 2: %d (%d maps)", code, len(want.Maps))
+	}
+
+	// Interrupted: the same walk, with a server restart between the
+	// recommendation and the second step.
+	dir := t.TempDir()
+	store1, err := sessionstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := durableServer(t, store1, Options{})
+	_, created = postJSON(t, ts1.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+	if code, _ := stepBody(t, ts1, id, ""); code != http.StatusOK {
+		t.Fatalf("step 1: %d", code)
+	}
+	resp, _ = postJSON(t, fmt.Sprintf("%s/sessions/%d/apply", ts1.URL, id),
+		map[string]any{"recommendation": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply: %d", resp.StatusCode)
+	}
+	ts1.Close()
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := sessionstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store2.Close() })
+	_, ts2 := durableServer(t, store2, Options{})
+	code, got := stepBody(t, ts2, id, "")
+	if code != http.StatusOK {
+		t.Fatalf("step after restart: %d", code)
+	}
+	if got.Selection != want.Selection {
+		t.Fatalf("selection: want %q, got %q", want.Selection, got.Selection)
+	}
+	if len(got.Maps) != len(want.Maps) {
+		t.Fatalf("maps: want %d, got %d", len(want.Maps), len(got.Maps))
+	}
+	for i := range want.Maps {
+		if want.Maps[i].Digest != got.Maps[i].Digest {
+			t.Errorf("map %d digest: want %s, got %s", i, want.Maps[i].Digest, got.Maps[i].Digest)
+		}
+	}
+}
+
+// TestShedRestoreTransparent covers the janitor's durable path: an idle
+// session is shed to the store instead of destroyed, a later request
+// restores it transparently, and the shared engine cache is neither
+// flushed by the shed nor cold for the restore.
+func TestShedRestoreTransparent(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	var offset atomic.Int64
+	clock := func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	store := sessionstore.NewMemStore()
+	s, ts := durableServer(t, store, Options{
+		SessionTTL:      time.Minute,
+		JanitorInterval: time.Hour,
+		Clock:           clock,
+	})
+
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+	if code, _ := stepBody(t, ts, id, ""); code != http.StatusOK {
+		t.Fatal("step")
+	}
+	warm := s.ex.EngineCacheStats()
+	if warm.Entries == 0 {
+		t.Fatal("setup: step must warm the shared cache")
+	}
+
+	offset.Store(int64(2 * time.Minute))
+	if n := s.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	// Satellite contract: shedding a session must NOT flush the shared
+	// TopMapsCache — its entries serve every other session.
+	if st := s.ex.EngineCacheStats(); st.Entries != warm.Entries {
+		t.Errorf("shed flushed the shared cache: %d entries, had %d", st.Entries, warm.Entries)
+	}
+	if snap, ok, _ := store.Get(id); !ok || snap.Final == nil {
+		t.Fatalf("shed snapshot: ok=%t %+v", ok, snap)
+	}
+
+	// The next request transparently restores — and the replay must hit
+	// the still-warm cache rather than recompute from scratch.
+	hitsBefore := s.ex.EngineCacheStats().Hits
+	if got := summarySteps(t, ts, id); got != 1 {
+		t.Errorf("restored session lost its step: %d", got)
+	}
+	if hits := s.ex.EngineCacheStats().Hits; hits <= hitsBefore {
+		t.Errorf("restore replay missed the warm cache: hits %d -> %d", hitsBefore, hits)
+	}
+
+	text := metricsText(t, ts)
+	if !strings.Contains(text, "subdex_sessions_shed_total 1") {
+		t.Errorf("shed counter:\n%s", grepMetric(text, "shed"))
+	}
+	if !strings.Contains(text, "subdex_sessions_restored_total 1") {
+		t.Errorf("restored counter:\n%s", grepMetric(text, "restored"))
+	}
+	if !strings.Contains(text, "subdex_sessions_evicted_total 0") {
+		t.Errorf("durable shed must not count as destruction:\n%s", grepMetric(text, "evicted"))
+	}
+
+	// A shed (not live) session is still deletable, straight from the store.
+	offset.Store(int64(5 * time.Minute))
+	if n := s.EvictIdle(); n != 1 {
+		t.Fatalf("re-evict: %d, want 1", n)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", ts.URL, id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete of shed session: %d", resp.StatusCode)
+	}
+	if code, _ := stepBody(t, ts, id, ""); code != http.StatusNotFound {
+		t.Errorf("deleted shed session answered %d, want 404", code)
+	}
+}
+
+// TestOpIDDedup pins idempotent retries: re-sending a committed op's id
+// answers from state — the same display, no second execution, no second
+// log record.
+func TestOpIDDedup(t *testing.T) {
+	store := sessionstore.NewMemStore()
+	_, ts := durableServer(t, store, Options{})
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+
+	code, first := stepBody(t, ts, id, "?opid=7-1")
+	if code != http.StatusOK {
+		t.Fatalf("step: %d", code)
+	}
+	code, retry := stepBody(t, ts, id, "?opid=7-1")
+	if code != http.StatusOK {
+		t.Fatalf("retried step: %d", code)
+	}
+	if len(retry.Maps) != len(first.Maps) {
+		t.Fatalf("retry maps: %d vs %d", len(retry.Maps), len(first.Maps))
+	}
+	for i := range first.Maps {
+		if first.Maps[i].Digest != retry.Maps[i].Digest {
+			t.Errorf("retry map %d digest diverges", i)
+		}
+	}
+	if got := summarySteps(t, ts, id); got != 1 {
+		t.Errorf("dedup executed a second step: %d", got)
+	}
+	if snap, _, _ := store.Get(id); len(snap.Ops) != 1 {
+		t.Errorf("dedup logged a second op: %d", len(snap.Ops))
+	}
+
+	// Apply dedup: a retried Back must not pop history twice.
+	applyURL := fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id)
+	resp, _ := postJSON(t, applyURL, map[string]any{"predicate": "reviewers.gender = 'female'", "op_id": "7-2"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply: %d", resp.StatusCode)
+	}
+	resp, out := postJSON(t, applyURL, map[string]any{"back": true, "op_id": "7-3"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("back: %d (%v)", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, applyURL, map[string]any{"back": true, "op_id": "7-3"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried back: %d (%v)", resp.StatusCode, out)
+	}
+	if out["selection"] != "TRUE" {
+		t.Errorf("retried back moved again: %v", out)
+	}
+	if snap, _, _ := store.Get(id); len(snap.Ops) != 3 {
+		t.Errorf("retried back logged again: %d ops, want 3", len(snap.Ops))
+	}
+
+	// A fresh opid after the dedup executes normally.
+	if code, _ = stepBody(t, ts, id, "?opid=7-4"); code != http.StatusOK {
+		t.Fatalf("fresh step: %d", code)
+	}
+	if got := summarySteps(t, ts, id); got != 2 {
+		t.Errorf("fresh opid did not execute: %d", got)
+	}
+}
+
+// TestUnknownSessionChecksStore pins the 404 path: with a store
+// configured, a genuinely unknown id still 404s on reads and deletes.
+func TestUnknownSessionChecksStore(t *testing.T) {
+	_, ts := durableServer(t, sessionstore.NewMemStore(), Options{})
+	if code, _ := stepBody(t, ts, 999, ""); code != http.StatusNotFound {
+		t.Errorf("unknown session: %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("delete unknown: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCreateRollbackOnStoreFailure pins the create path's failure
+// atomicity: when the store cannot persist the creation, the client gets
+// a 500 and no half-created session remains serving.
+func TestCreateRollbackOnStoreFailure(t *testing.T) {
+	store := sessionstore.NewMemStore()
+	// Pre-seed an id the server will try to claim. Its placeholder
+	// snapshot cannot restore (no fingerprint), so boot leaves it in the
+	// store — and a create colliding with it fails to persist.
+	if err := store.Create(1, &core.SessionSnapshot{Version: core.SnapshotVersion}); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := durableServer(t, store, Options{})
+	s.mu.Lock()
+	s.nextID = 1 // collide with the unrecoverable stored session
+	s.mu.Unlock()
+
+	resp, body := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("create with colliding id: %d %v", resp.StatusCode, body)
+	}
+	text := metricsText(t, ts)
+	if !strings.Contains(text, "subdex_sessions_in_flight 0") {
+		t.Errorf("rolled-back session still counted live:\n%s", grepMetric(text, "in_flight"))
+	}
+	if !strings.Contains(text, "subdex_wal_append_failures_total 1") {
+		t.Errorf("append failure not counted:\n%s", grepMetric(text, "append_failures"))
+	}
+}
+
+// TestDeleteVsInflightStep is the satellite race: DELETE while a step is
+// computing must answer 409 immediately (never yank the session out from
+// under the engine), and succeed once the step finishes. Run under -race
+// in CI.
+func TestDeleteVsInflightStep(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	cfg := lightConfig()
+	cfg.Engine.MinPhaseRecords = 1
+	cfg.Engine.PhaseHook = func(ctx context.Context, phase int) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	_, ts := testServerWith(t, cfg, Options{Store: sessionstore.NewMemStore()})
+
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
+	id := int(created["id"].(float64))
+	sURL := fmt.Sprintf("%s/sessions/%d", ts.URL, id)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(sURL + "/step")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("held step: %d", resp.StatusCode)
+		}
+	}()
+	<-entered
+
+	req, _ := http.NewRequest(http.MethodDelete, sURL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE during step: %d, want 409", resp.StatusCode)
+	}
+	close(release)
+	wg.Wait()
+
+	resp, err = http.DefaultClient.Do(req.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE after step: %d", resp.StatusCode)
+	}
+}
+
+// TestDeleteStepHammer races steps, deletes, and an aggressive janitor
+// over several sessions with no deterministic holds — pure -race fodder
+// for the remove-vs-in-flight and shed-vs-request disciplines.
+func TestDeleteStepHammer(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	var offset atomic.Int64
+	clock := func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	s, ts := durableServer(t, sessionstore.NewMemStore(), Options{
+		SessionTTL:      time.Millisecond,
+		JanitorInterval: time.Hour,
+		Clock:           clock,
+	})
+
+	const users = 6
+	stop := make(chan struct{})
+	var sweeper sync.WaitGroup
+	sweeper.Add(1)
+	go func() { // the janitor, shedding everything idle on every pass
+		defer sweeper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			offset.Add(int64(time.Second))
+			s.EvictIdle()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
+			id := int(created["id"].(float64))
+			sURL := fmt.Sprintf("%s/sessions/%d", ts.URL, id)
+			for i := 0; i < 6; i++ {
+				resp, err := http.Get(sURL + "/step")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusConflict:
+				default:
+					t.Errorf("step: %d", resp.StatusCode)
+				}
+			}
+			req, _ := http.NewRequest(http.MethodDelete, sURL, nil)
+			for {
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusConflict {
+					continue // in-flight somewhere; retry
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("delete: %d", resp.StatusCode)
+				}
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sweeper.Wait()
+}

@@ -45,6 +45,7 @@ import (
 	"subdex/internal/obs"
 	"subdex/internal/query"
 	"subdex/internal/ratingmap"
+	"subdex/internal/sessionstore"
 )
 
 // spanRingSize bounds the /debug/spans buffer.
@@ -77,6 +78,13 @@ type Options struct {
 	// FlightMinInterval overrides the per-reason dump rate limit
 	// (default 30s).
 	FlightMinInterval time.Duration
+	// Store makes sessions durable: every committed operation is logged
+	// to it before the response is sent, idle sessions are shed to it
+	// (and transparently restored on their next request) instead of
+	// destroyed, and stored sessions are recovered — replayed through
+	// the real engine — at construction. Nil keeps the pre-durability
+	// behavior: sessions live and die with the process.
+	Store sessionstore.Store
 }
 
 // routes are the handler paths served by Handler. The per-route HTTP
@@ -168,7 +176,13 @@ type Server struct {
 	stepTimeouts      *obs.Counter
 	flightDumps       *obs.Counter
 	flightSuppressed  *obs.Counter
+	sessionsShed      *obs.Counter
+	sessionsRestored  *obs.Counter
+	sessionsRecovered *obs.Counter
+	walFailures       *obs.Counter
 	routeIns          map[string]*routeInstruments
+
+	store sessionstore.Store
 
 	mu       sync.Mutex
 	sessions map[int]*sessionEntry
@@ -188,7 +202,19 @@ func New(db *dataset.DB, cfg core.Config) (*Server, error) {
 // NewWithOptions is New with the admission-control and session-lifecycle
 // knobs. When opts.SessionTTL > 0 a janitor goroutine sweeps idle
 // sessions; stop it with Close.
+//
+// NewWithOptions is an XCtx compatibility shim: a context-free wrapper F
+// that delegates to FCtx with context.Background(), keeping the
+// pre-context API alive.
 func NewWithOptions(db *dataset.DB, cfg core.Config, opts Options) (*Server, error) {
+	return NewWithOptionsCtx(context.Background(), db, cfg, opts)
+}
+
+// NewWithOptionsCtx is NewWithOptions under a caller-supplied context,
+// which bounds the boot-time session recovery a durable Store triggers
+// (every stored session is replayed through the engine before the first
+// request is served).
+func NewWithOptionsCtx(ctx context.Context, db *dataset.DB, cfg core.Config, opts Options) (*Server, error) {
 	ex, err := core.NewExplorer(db, cfg)
 	if err != nil {
 		return nil, err
@@ -229,6 +255,15 @@ func NewWithOptions(db *dataset.DB, cfg core.Config, opts Options) (*Server, err
 			"Flight-recorder dumps written to disk."),
 		flightSuppressed: reg.Counter("subdex_flight_dumps_suppressed_total",
 			"Flight-recorder triggers suppressed by the per-reason rate limit."),
+		sessionsShed: reg.Counter("subdex_sessions_shed_total",
+			"Idle sessions shed to the durable store by the TTL janitor."),
+		sessionsRestored: reg.Counter("subdex_sessions_restored_total",
+			"Sessions transparently restored from the durable store on request."),
+		sessionsRecovered: reg.Counter("subdex_sessions_recovered_total",
+			"Sessions recovered from the durable store at boot."),
+		walFailures: reg.Counter("subdex_wal_append_failures_total",
+			"Operations that committed in memory but failed to persist (the request answered 500)."),
+		store:    opts.Store,
 		sessions: make(map[int]*sessionEntry),
 		routeIns: make(map[string]*routeInstruments, len(routes)),
 		nextID:   1,
@@ -245,10 +280,74 @@ func NewWithOptions(db *dataset.DB, cfg core.Config, opts Options) (*Server, err
 		obs.L("version", info.Version),
 		obs.L("commit", info.Commit),
 		obs.L("go_version", info.GoVersion)).Set(1)
+	if s.store != nil {
+		s.store.Instrument(sessionstore.Instruments{
+			Appends: reg.Counter("subdex_wal_appends_total",
+				"Durable records appended to the session write-ahead log."),
+			Fsyncs: reg.Counter("subdex_wal_fsyncs_total",
+				"fsync calls on the session write-ahead log."),
+			ReplayRecords: reg.Counter("subdex_wal_replay_records_total",
+				"Write-ahead-log records applied during open-time replay."),
+			Truncations: reg.Counter("subdex_wal_truncations_total",
+				"Corrupt write-ahead-log tails truncated during open-time replay."),
+		})
+		if err := s.recoverSessions(ctx); err != nil {
+			return nil, err
+		}
+	}
 	if opts.SessionTTL > 0 {
 		go s.janitor()
 	}
 	return s, nil
+}
+
+// recoverSessions resumes every stored session at boot: each snapshot is
+// replayed through the real engine (rewarming the cross-step cache and
+// verifying the recorded digests) and installed in the live map. A
+// session that fails to replay is flight-recorded and left in the store
+// for forensics, never served. A corrupt WAL tail found by the store's
+// own open is likewise flight-recorded here, where a recorder exists.
+func (s *Server) recoverSessions(ctx context.Context) error {
+	snaps, nextID, err := s.store.All()
+	if err != nil {
+		return fmt.Errorf("server: reading session store: %w", err)
+	}
+	recovered := 0
+	//subdex:orderinsensitive keyed map iteration: each session restores independently into its own map slot
+	for id, snap := range snaps {
+		sess, rerr := core.RestoreSession(ctx, s.ex, snap)
+		if rerr != nil {
+			s.flight.Record(obs.NewWideEvent().
+				Set("op", "recover_session").
+				Set("session", id).
+				Set("status", http.StatusInternalServerError).
+				Set("error", rerr.Error()))
+			s.flightTrigger("session_recovery_failed")
+			continue
+		}
+		s.mu.Lock()
+		s.sessions[id] = &sessionEntry{sess: sess, lastUsed: s.now()}
+		s.mu.Unlock()
+		s.sessionsLive.Inc()
+		recovered++
+	}
+	s.sessionsRecovered.Add(int64(recovered))
+	s.mu.Lock()
+	if nextID > s.nextID {
+		s.nextID = nextID
+	}
+	s.mu.Unlock()
+	if fs, ok := s.store.(*sessionstore.FileStore); ok {
+		if rec := fs.Recovery(); rec.Truncated {
+			s.flight.Record(obs.NewWideEvent().
+				Set("op", "wal_truncation").
+				Set("error", rec.Reason).
+				Set("wal_valid_bytes", rec.TruncatedAt).
+				Set("wal_records", rec.Records))
+			s.flightTrigger("wal_corrupt_tail")
+		}
+	}
+	return nil
 }
 
 // Flight exposes the server's flight recorder so embedders (sdeload's
@@ -301,16 +400,29 @@ func (s *Server) janitor() {
 }
 
 // EvictIdle removes every session idle for longer than the configured
-// SessionTTL and returns how many were evicted. Sessions mid-computation
-// (entry lock held) are skipped — they are in use by definition. The
-// janitor calls this on its interval; tests call it directly with a fake
-// clock.
+// SessionTTL and returns how many were removed. Sessions mid-computation
+// (entry lock held) are skipped — they are in use by definition. With a
+// durable store configured the removal is a *shed*: the session's
+// snapshot is persisted (outside every lock — Shed does file I/O) and
+// the next request for it restores transparently; without one it is the
+// old destructive eviction. The janitor calls this on its interval;
+// tests call it directly with a fake clock.
+//
+// The shared engine cache is deliberately untouched here: shedding moves
+// one session's private state out of memory, and flushing the cross-
+// session TopMapsCache would tax every other session's latency for it
+// (a regression test pins cache hits across a shed/restore cycle).
 func (s *Server) EvictIdle() int {
 	ttl := s.opts.SessionTTL
 	if ttl <= 0 {
 		return 0
 	}
 	cutoff := s.now().Add(-ttl)
+	type shedItem struct {
+		id   int
+		snap *core.SessionSnapshot
+	}
+	var shed []shedItem
 	evicted := 0
 	s.mu.Lock()
 	for id, e := range s.sessions {
@@ -320,6 +432,9 @@ func (s *Server) EvictIdle() int {
 		if !e.mu.TryLock() {
 			continue // a request is computing on it right now
 		}
+		if s.store != nil {
+			shed = append(shed, shedItem{id, e.sess.Snapshot()})
+		}
 		delete(s.sessions, id)
 		e.mu.Unlock()
 		evicted++
@@ -327,7 +442,25 @@ func (s *Server) EvictIdle() int {
 	s.mu.Unlock()
 	for i := 0; i < evicted; i++ {
 		s.sessionsLive.Dec()
-		s.sessionsEvicted.Inc()
+	}
+	if s.store == nil {
+		s.sessionsEvicted.Add(int64(evicted))
+		return evicted
+	}
+	for _, it := range shed {
+		if err := s.store.Shed(it.id, it.snap); err != nil {
+			// The session left memory but its full snapshot missed the
+			// log. The store's mirror still has it (mirror-ahead-of-log
+			// heals at compaction); record the failure loudly.
+			s.walFailures.Inc()
+			s.flight.Record(obs.NewWideEvent().
+				Set("op", "shed_session").
+				Set("session", it.id).
+				Set("error", err.Error()))
+			s.flightTrigger("wal_append_failed")
+			continue
+		}
+		s.sessionsShed.Inc()
 	}
 	return evicted
 }
@@ -571,6 +704,22 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = &sessionEntry{sess: sess, lastUsed: s.now()}
 	s.sessionsLive.Inc()
 	s.mu.Unlock()
+	// Log before respond: the session is durable before the client learns
+	// its id. On failure the insert is rolled back — a 500 must not leak
+	// a half-created session.
+	if s.store != nil {
+		if err := s.store.Create(id, sess.BaseSnapshot()); err != nil {
+			s.mu.Lock()
+			if _, ok := s.sessions[id]; ok {
+				delete(s.sessions, id)
+				s.sessionsLive.Dec()
+			}
+			s.mu.Unlock()
+			s.walFailures.Inc()
+			writeError(w, http.StatusInternalServerError, "failed to persist session: "+err.Error())
+			return
+		}
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "mode": mode.String()})
 }
 
@@ -599,21 +748,96 @@ func (s *Server) entry(id int) (*sessionEntry, bool) {
 	return e, ok
 }
 
+// entryOrRestore is entry with the durable-store fallback: a session the
+// janitor shed (or one created before a restart that boot recovery
+// skipped restoring) is replayed through the engine and re-installed
+// transparently. It returns the entry, or an HTTP status to answer with
+// (404 for a genuinely unknown session, 500 for one that exists in the
+// store but failed to replay).
+func (s *Server) entryOrRestore(ctx context.Context, id int) (*sessionEntry, int, string) {
+	if e, ok := s.entry(id); ok {
+		return e, 0, ""
+	}
+	if s.store == nil {
+		return nil, http.StatusNotFound, "no such session"
+	}
+	snap, ok, err := s.store.Get(id)
+	if err != nil {
+		return nil, http.StatusInternalServerError, "session store: " + err.Error()
+	}
+	if !ok {
+		return nil, http.StatusNotFound, "no such session"
+	}
+	// The replay runs outside every server lock: it is real engine work
+	// (that is the point — the cache rewarms) and must not stall other
+	// sessions.
+	sess, err := core.RestoreSession(ctx, s.ex, snap)
+	if err != nil {
+		s.flight.Record(obs.NewWideEvent().
+			Set("op", "restore_session").
+			Set("session", id).
+			Set("status", http.StatusInternalServerError).
+			Set("error", err.Error()))
+		s.flightTrigger("session_restore_failed")
+		return nil, http.StatusInternalServerError, "session restore failed: " + err.Error()
+	}
+	s.mu.Lock()
+	if e, ok := s.sessions[id]; ok {
+		// Lost a concurrent restore race; the winner's copy is as exact
+		// as ours (replay is deterministic) — use it and drop ours.
+		e.lastUsed = s.now()
+		s.mu.Unlock()
+		return e, 0, ""
+	}
+	e := &sessionEntry{sess: sess, lastUsed: s.now()}
+	s.sessions[id] = e
+	s.mu.Unlock()
+	s.sessionsLive.Inc()
+	s.sessionsRestored.Inc()
+	return e, 0, ""
+}
+
 // handleDelete removes a session and decrements the in-flight gauge.
 // Presence is rechecked under the lock so two concurrent DELETEs of the
-// same id cannot double-decrement.
+// same id cannot double-decrement, and the entry lock is TryLocked
+// before removal so a DELETE can never yank a session out from under an
+// in-flight step (the same discipline the janitor follows); a busy
+// session answers 409 and the client retries. With a durable store the
+// delete is persisted too — a deleted session must stay deleted across
+// a restart.
 func (s *Server) handleDelete(w http.ResponseWriter, id int) {
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	e, ok := s.sessions[id]
 	if ok {
+		if !e.mu.TryLock() {
+			s.mu.Unlock()
+			s.busyRejected.Inc()
+			writeError(w, http.StatusConflict, "session busy: a step or apply is already in flight")
+			return
+		}
 		delete(s.sessions, id)
+		e.mu.Unlock()
 	}
 	s.mu.Unlock()
-	if !ok {
+	inStore := false
+	if s.store != nil && !ok {
+		// A shed session is still deletable: check the store before 404ing.
+		_, inStore, _ = s.store.Get(id)
+	}
+	if !ok && !inStore {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
-	s.sessionsLive.Dec()
+	if ok {
+		s.sessionsLive.Dec()
+	}
+	if s.store != nil {
+		if err := s.store.Delete(id); err != nil {
+			s.walFailures.Inc()
+			writeError(w, http.StatusInternalServerError, "failed to persist delete: "+err.Error())
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
@@ -625,26 +849,31 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad session id")
 		return
 	}
-	e, ok := s.entry(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
-		return
-	}
 	action := ""
 	if len(parts) > 1 {
 		action = parts[1]
+	}
+	if action == "" && r.Method == http.MethodDelete {
+		// Deletion never restores: replaying a whole session through the
+		// engine just to discard it would be pure waste. handleDelete
+		// checks the store itself.
+		s.handleDelete(w, id)
+		return
+	}
+	e, status, errMsg := s.entryOrRestore(r.Context(), id)
+	if status != 0 {
+		writeError(w, status, errMsg)
+		return
 	}
 	// Known actions answer 405 (with Allow) on the wrong method instead
 	// of falling through to 404.
 	allowed := map[string]string{"": http.MethodDelete, "step": http.MethodGet,
 		"apply": http.MethodPost, "summary": http.MethodGet, "maps": http.MethodGet}
 	switch {
-	case action == "" && r.Method == http.MethodDelete:
-		s.handleDelete(w, id)
 	case action == "step" && r.Method == http.MethodGet:
 		s.handleStep(w, r, id, e)
 	case action == "apply" && r.Method == http.MethodPost:
-		s.handleApply(w, r, e)
+		s.handleApply(w, r, id, e)
 	case action == "summary" && r.Method == http.MethodGet:
 		e.mu.Lock()
 		sum := e.sess.Summarize()
@@ -720,15 +949,35 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, id int, e *s
 		writeError(w, http.StatusConflict, "session busy: a step or apply is already in flight")
 		return
 	}
+	opid := r.URL.Query().Get("opid")
+	explain := r.URL.Query().Get("explain") == "1"
+	// Idempotent retry: if the client re-sends an op the session already
+	// committed (the connection died before the response — e.g. across a
+	// crash), re-render the committed step instead of executing a new
+	// one. This is the client half of exactly-once step semantics; the
+	// log-before-respond below is the server half.
+	if last, ok := e.sess.LastOp(); opid != "" && ok && last.OpID == opid {
+		steps := e.sess.Steps()
+		payload := s.stepJSON(e.sess, steps[len(steps)-1], explain)
+		e.mu.Unlock()
+		writeJSON(w, http.StatusOK, payload)
+		return
+	}
 	stepStart := time.Now()
 	step, err := e.sess.StepCtx(r.Context())
 	var payload StepJSON
+	var op core.SessionOp
+	var seq int
 	if err == nil {
-		payload = s.stepJSON(e.sess, step, r.URL.Query().Get("explain") == "1")
+		e.sess.TagLastOp(opid)
+		op, _ = e.sess.LastOp()
+		seq = e.sess.NumOps() - 1
+		payload = s.stepJSON(e.sess, step, explain)
 	}
-	// Everything below — the wide event, dump triggers, the response —
-	// happens outside the session lock: flight dumps do file I/O and the
-	// response write blocks on the client.
+	// Everything below — the WAL append, the wide event, dump triggers,
+	// the response — happens outside the session lock: the WAL fsync and
+	// flight dumps do file I/O and the response write blocks on the
+	// client.
 	e.mu.Unlock()
 	durMS := float64(time.Since(stepStart).Microseconds()) / 1000
 	tid := string(obs.TraceIDFrom(r.Context()))
@@ -754,6 +1003,11 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, id int, e *s
 		writeError(w, status, msg)
 		return
 	}
+	// Log before respond: the step is durable before the client sees it,
+	// so a crash after this point loses nothing a client has acted on.
+	if !s.persistOp(w, id, seq, op, "step") {
+		return
+	}
 	s.flight.Record(obs.NewWideEvent().
 		Set("op", "step").
 		Set("session", id).
@@ -771,16 +1025,42 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, id int, e *s
 	writeJSON(w, http.StatusOK, payload)
 }
 
-// applyRequest moves a session: exactly one of the fields is used.
+// persistOp appends one committed op to the durable store, reporting
+// whether to proceed with the success response. On failure it answers
+// 500: the op is applied in memory (and the store's mirror; the gap
+// heals at the next compaction), but the client must not act on a
+// response the log never saw.
+func (s *Server) persistOp(w http.ResponseWriter, id, seq int, op core.SessionOp, what string) bool {
+	if s.store == nil {
+		return true
+	}
+	if err := s.store.AppendOp(id, seq, op); err != nil {
+		s.walFailures.Inc()
+		s.flight.Record(obs.NewWideEvent().
+			Set("op", "wal_append").
+			Set("session", id).
+			Set("error", err.Error()))
+		s.flightTrigger("wal_append_failed")
+		writeError(w, http.StatusInternalServerError, "failed to persist "+what+": "+err.Error())
+		return false
+	}
+	return true
+}
+
+// applyRequest moves a session: exactly one of the move fields is used.
 // Recommendation is a pointer so an explicit {"recommendation": 0} is
 // distinguishable from an absent field and gets a targeted error.
 type applyRequest struct {
 	Predicate      string `json:"predicate,omitempty"`
 	Recommendation *int   `json:"recommendation,omitempty"` // 1-based
 	Back           bool   `json:"back,omitempty"`
+	// OpID is an optional client idempotency tag: re-sending a request
+	// whose op the session already committed (a retry after a lost
+	// response) answers from state instead of re-applying.
+	OpID string `json:"op_id,omitempty"`
 }
 
-func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, e *sessionEntry) {
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, id int, e *sessionEntry) {
 	var req applyRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -790,38 +1070,65 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, e *sessionE
 		writeError(w, http.StatusConflict, "session busy: a step or apply is already in flight")
 		return
 	}
-	defer e.mu.Unlock()
 	sess := e.sess
+	// Idempotent retry, mirroring handleStep: an already-committed op is
+	// answered from state, not re-applied.
+	if last, ok := sess.LastOp(); req.OpID != "" && ok && last.OpID == req.OpID {
+		sel := sess.Current().String()
+		e.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"selection": sel})
+		return
+	}
+	status, msg := s.applyLocked(sess, req)
+	var op core.SessionOp
+	var seq int
+	var sel string
+	if status == 0 {
+		sess.TagLastOp(req.OpID)
+		op, _ = sess.LastOp()
+		seq = sess.NumOps() - 1
+		sel = sess.Current().String()
+	}
+	// The WAL append and the response write stay outside the session
+	// lock (file I/O and client-paced I/O respectively).
+	e.mu.Unlock()
+	if status != 0 {
+		writeError(w, status, msg)
+		return
+	}
+	if !s.persistOp(w, id, seq, op, "apply") {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"selection": sel})
+}
+
+// applyLocked commits one apply operation on the locked session. It
+// returns (0, "") on success or the HTTP status and message to answer.
+func (s *Server) applyLocked(sess *core.Session, req applyRequest) (int, string) {
 	switch {
 	case req.Back:
 		if !sess.Back() {
-			writeError(w, http.StatusConflict, "history empty")
-			return
+			return http.StatusConflict, "history empty"
 		}
 	case req.Recommendation != nil:
 		if *req.Recommendation < 1 {
-			writeError(w, http.StatusBadRequest, "recommendation must be ≥ 1 (1-based index)")
-			return
+			return http.StatusBadRequest, "recommendation must be ≥ 1 (1-based index)"
 		}
 		if err := sess.ApplyRecommendation(*req.Recommendation - 1); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return http.StatusBadRequest, err.Error()
 		}
 	case req.Predicate != "":
 		d, err := s.ex.ParseDescription(req.Predicate)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return http.StatusBadRequest, err.Error()
 		}
 		if err := sess.ApplyDescription(d); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return http.StatusBadRequest, err.Error()
 		}
 	default:
-		writeError(w, http.StatusBadRequest, "one of predicate, recommendation, back required")
-		return
+		return http.StatusBadRequest, "one of predicate, recommendation, back required"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"selection": sess.Current().String()})
+	return 0, ""
 }
 
 // decodeJSON reads a JSON body with the hardening defaults: a 64 KiB

@@ -1,0 +1,240 @@
+package sessionstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"subdex/internal/core"
+)
+
+// The WAL is a JSONL file: one record per line, each wrapped in a CRC
+// envelope {"c":"<crc32c hex>","r":<record>} so torn or bit-flipped
+// tails are detected without trusting JSON well-formedness alone. Replay
+// recovers the longest valid prefix: the first undecodable or
+// checksum-failing line ends recovery and the file is truncated there.
+// Two well-formed redundancies are tolerated mid-stream instead of
+// truncating — an op whose seq was already applied (a duplicate append
+// after an ill-timed crash) and an op for a session no longer present
+// (its delete already applied) — because both have exactly one correct
+// interpretation: skip.
+
+// Record kinds. A create opens a session with its base snapshot, an op
+// appends one committed operation, a shed replaces the whole record with
+// a full snapshot (compaction writes these too), a delete removes it.
+const (
+	recCreate = "create"
+	recOp     = "op"
+	recShed   = "shed"
+	recDelete = "delete"
+	// recNext is the id-allocator watermark (ID = highest id ever used):
+	// compaction writes one so deleting the highest session can never
+	// cause id reuse after a restart.
+	recNext = "next"
+)
+
+// walRecord is one logical WAL record (the "r" payload of a line).
+type walRecord struct {
+	Kind string                `json:"k"`
+	ID   int                   `json:"id"`
+	Seq  int                   `json:"seq,omitempty"`
+	Op   *core.SessionOp       `json:"op,omitempty"`
+	Snap *core.SessionSnapshot `json:"snap,omitempty"`
+}
+
+// walEnvelope is the on-disk line: the record's raw JSON plus its CRC.
+type walEnvelope struct {
+	C string          `json:"c"`
+	R json.RawMessage `json:"r"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeRecord renders one WAL line, newline-terminated.
+func encodeRecord(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	env := walEnvelope{
+		C: fmt.Sprintf("%08x", crc32.Checksum(payload, castagnoli)),
+		R: payload,
+	}
+	line, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// decodeLine parses and checksum-verifies one WAL line.
+func decodeLine(line []byte) (walRecord, error) {
+	var env walEnvelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return walRecord{}, fmt.Errorf("sessionstore: bad wal line: %w", err)
+	}
+	if got := fmt.Sprintf("%08x", crc32.Checksum(env.R, castagnoli)); got != env.C {
+		return walRecord{}, fmt.Errorf("sessionstore: wal checksum mismatch: line says %s, payload is %s", env.C, got)
+	}
+	var rec walRecord
+	if err := json.Unmarshal(env.R, &rec); err != nil {
+		return walRecord{}, fmt.Errorf("sessionstore: bad wal record: %w", err)
+	}
+	return rec, nil
+}
+
+// apply mutates the mirror with one record under live-write semantics:
+// any inconsistency is a caller bug and errors out before anything is
+// written. Compare replay, which tolerates the redundancies a crash can
+// legitimately leave behind.
+func (st *memState) apply(rec walRecord) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch rec.Kind {
+	case recCreate:
+		if rec.Snap == nil {
+			return fmt.Errorf("sessionstore: create record without snapshot")
+		}
+		if _, ok := st.sessions[rec.ID]; ok {
+			return fmt.Errorf("sessionstore: session %d already exists", rec.ID)
+		}
+		st.sessions[rec.ID] = rec.Snap
+		st.bumpNextID(rec.ID)
+	case recOp:
+		snap, ok := st.sessions[rec.ID]
+		if !ok {
+			return fmt.Errorf("sessionstore: append to unknown session %d", rec.ID)
+		}
+		if rec.Seq != len(snap.Ops) {
+			return errSeq(rec.ID, rec.Seq, len(snap.Ops))
+		}
+		snap.Ops = append(snap.Ops, *rec.Op)
+		// The recorded end state predates this op; drop it rather than
+		// let RestoreSession verify against a stale target.
+		snap.Final = nil
+	case recShed:
+		if rec.Snap == nil {
+			return fmt.Errorf("sessionstore: shed record without snapshot")
+		}
+		st.sessions[rec.ID] = rec.Snap
+		st.bumpNextID(rec.ID)
+	case recDelete:
+		delete(st.sessions, rec.ID)
+	case recNext:
+		st.bumpNextID(rec.ID)
+	default:
+		return fmt.Errorf("sessionstore: unknown record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// replay mutates the mirror with one recovered record. It reports
+// whether the record was applied (false: skipped as redundant). An error
+// means the record is inconsistent with the recovered prefix (e.g. a seq
+// gap, which proves a lost write) — the caller stops and truncates.
+func (st *memState) replay(rec walRecord) (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch rec.Kind {
+	case recCreate:
+		if rec.Snap == nil {
+			return false, fmt.Errorf("sessionstore: create record without snapshot")
+		}
+		st.sessions[rec.ID] = rec.Snap
+		st.bumpNextID(rec.ID)
+	case recOp:
+		if rec.Op == nil {
+			return false, fmt.Errorf("sessionstore: op record without op")
+		}
+		snap, ok := st.sessions[rec.ID]
+		if !ok {
+			return false, nil // session already deleted: dead op
+		}
+		if rec.Seq < len(snap.Ops) {
+			return false, nil // duplicate append: already applied
+		}
+		if rec.Seq > len(snap.Ops) {
+			return false, errSeq(rec.ID, rec.Seq, len(snap.Ops))
+		}
+		snap.Ops = append(snap.Ops, *rec.Op)
+		snap.Final = nil
+	case recShed:
+		if rec.Snap == nil {
+			return false, fmt.Errorf("sessionstore: shed record without snapshot")
+		}
+		st.sessions[rec.ID] = rec.Snap
+		st.bumpNextID(rec.ID)
+	case recDelete:
+		delete(st.sessions, rec.ID)
+	case recNext:
+		st.bumpNextID(rec.ID)
+	default:
+		return false, fmt.Errorf("sessionstore: unknown record kind %q", rec.Kind)
+	}
+	return true, nil
+}
+
+// bumpNextID advances the allocator watermark; callers hold st.mu.
+func (st *memState) bumpNextID(id int) {
+	if id >= st.nextID {
+		st.nextID = id + 1
+	}
+}
+
+// replayResult summarizes one WAL read.
+type replayResult struct {
+	// Applied and Skipped count records; see Stats.
+	Applied int64
+	Skipped int64
+	// ValidBytes is the byte length of the longest valid prefix. When
+	// Truncated, everything at and past this offset is corrupt.
+	ValidBytes int64
+	// Truncated reports that the file had an invalid tail (Reason says
+	// why). The caller is responsible for the actual truncation.
+	Truncated bool
+	Reason    string
+}
+
+// replayWAL reads a WAL stream into the mirror, stopping at the first
+// invalid line. It never fails: any unreadable suffix just ends the
+// recovered prefix.
+func replayWAL(st *memState, r io.Reader) replayResult {
+	var res replayResult
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) > 0 {
+				// A torn final write: the record never finished.
+				res.Truncated = true
+				res.Reason = "torn final record (no newline)"
+			}
+			return res
+		}
+		if err != nil {
+			res.Truncated = true
+			res.Reason = fmt.Sprintf("read: %v", err)
+			return res
+		}
+		rec, derr := decodeLine(line[:len(line)-1])
+		if derr != nil {
+			res.Truncated = true
+			res.Reason = derr.Error()
+			return res
+		}
+		applied, aerr := st.replay(rec)
+		if aerr != nil {
+			res.Truncated = true
+			res.Reason = aerr.Error()
+			return res
+		}
+		res.ValidBytes += int64(len(line))
+		if applied {
+			res.Applied++
+		} else {
+			res.Skipped++
+		}
+	}
+}

@@ -4,14 +4,31 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"subdex/internal/obs"
 	"subdex/internal/server"
 )
+
+// Retry configures transport-level retries for an HTTPClient. Retries
+// fire only on errors the server never answered (connection refused or
+// reset — e.g. across a crash and restart), never on HTTP status errors
+// or context cancellation. Every retried mutating request carries the
+// same op id, so a server that already committed the op before the
+// connection died answers idempotently from state instead of re-applying
+// — the client half of exactly-once step semantics.
+type Retry struct {
+	// Attempts is the number of retries after the first try (0 = off).
+	Attempts int
+	// Backoff is the wait before the first retry, doubling each retry
+	// and capped at 2s (0 with Attempts > 0 selects 100ms).
+	Backoff time.Duration
+}
 
 // HTTPClient drives one exploration session over the internal/server JSON
 // API — the live-wire arm of the workload harness. It normalizes the
@@ -19,9 +36,13 @@ import (
 // produces, including the per-map content digests the server emits, so an
 // HTTP-driven walk is byte-comparable to an in-process one.
 type HTTPClient struct {
-	base string
-	hc   *http.Client
-	id   int
+	base  string
+	hc    *http.Client
+	id    int
+	retry Retry
+	// opSeq numbers this client's mutating requests; with the session id
+	// it forms the deterministic op id retries are deduplicated by.
+	opSeq int
 }
 
 // NewHTTPClient creates a session via POST /sessions. base is the server
@@ -29,10 +50,21 @@ type HTTPClient struct {
 // predicate the optional starting selection. A 429 admission rejection
 // surfaces as a *StatusError.
 func NewHTTPClient(ctx context.Context, base string, hc *http.Client, mode, predicate string) (*HTTPClient, error) {
+	return NewHTTPClientRetry(ctx, base, hc, mode, predicate, Retry{})
+}
+
+// NewHTTPClientRetry is NewHTTPClient with a transport retry policy, for
+// workloads that must survive a server restart mid-run (the kill-and-
+// resume soak). A crashed-and-recovered server resumes the session
+// exactly, so a retried walk stays on the deterministic path.
+func NewHTTPClientRetry(ctx context.Context, base string, hc *http.Client, mode, predicate string, retry Retry) (*HTTPClient, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	c := &HTTPClient{base: strings.TrimRight(base, "/"), hc: hc}
+	if retry.Attempts > 0 && retry.Backoff <= 0 {
+		retry.Backoff = 100 * time.Millisecond
+	}
+	c := &HTTPClient{base: strings.TrimRight(base, "/"), hc: hc, retry: retry}
 	var created struct {
 		ID int `json:"id"`
 	}
@@ -45,6 +77,14 @@ func NewHTTPClient(ctx context.Context, base string, hc *http.Client, mode, pred
 	return c, nil
 }
 
+// nextOpID mints the deterministic idempotency tag of the next mutating
+// request. Op ids consume no randomness, so enabling retries never
+// perturbs a seeded walk.
+func (c *HTTPClient) nextOpID() string {
+	c.opSeq++
+	return fmt.Sprintf("%d-%d", c.id, c.opSeq)
+}
+
 // SessionID returns the server-assigned session id.
 func (c *HTTPClient) SessionID() int { return c.id }
 
@@ -53,26 +93,39 @@ func (c *HTTPClient) SessionID() int { return c.id }
 // to record slow-step exemplars.
 func (c *HTTPClient) Step(ctx context.Context) (*StepView, error) {
 	var sj server.StepJSON
-	if err := c.do(ctx, http.MethodGet, c.path("step")+"?explain=1", nil, &sj); err != nil {
+	path := c.path("step") + "?explain=1"
+	if c.retry.Attempts > 0 {
+		path += "&opid=" + c.nextOpID()
+	}
+	if err := c.do(ctx, http.MethodGet, path, nil, &sj); err != nil {
 		return nil, err
 	}
 	return viewFromJSON(&sj), nil
 }
 
+// applyBody builds an apply payload, tagged with an op id when retries
+// are on.
+func (c *HTTPClient) applyBody(kv map[string]any) map[string]any {
+	if c.retry.Attempts > 0 {
+		kv["op_id"] = c.nextOpID()
+	}
+	return kv
+}
+
 // Apply implements Client.
 func (c *HTTPClient) Apply(ctx context.Context, predicate string) error {
-	return c.do(ctx, http.MethodPost, c.path("apply"), map[string]any{"predicate": predicate}, nil)
+	return c.do(ctx, http.MethodPost, c.path("apply"), c.applyBody(map[string]any{"predicate": predicate}), nil)
 }
 
 // ApplyRecommendation implements Client. The wire index is 1-based.
 func (c *HTTPClient) ApplyRecommendation(ctx context.Context, i int) error {
-	return c.do(ctx, http.MethodPost, c.path("apply"), map[string]any{"recommendation": i + 1}, nil)
+	return c.do(ctx, http.MethodPost, c.path("apply"), c.applyBody(map[string]any{"recommendation": i + 1}), nil)
 }
 
 // Back implements Client. The server answers an empty history with 409;
 // that outcome maps to (false, nil), matching Session.Back.
 func (c *HTTPClient) Back(ctx context.Context) (bool, error) {
-	err := c.do(ctx, http.MethodPost, c.path("apply"), map[string]any{"back": true}, nil)
+	err := c.do(ctx, http.MethodPost, c.path("apply"), c.applyBody(map[string]any{"back": true}), nil)
 	if se, ok := err.(*StatusError); ok && se.Code == http.StatusConflict &&
 		strings.Contains(se.Msg, "history empty") {
 		return false, nil
@@ -129,10 +182,37 @@ func (c *HTTPClient) path(action string) string {
 	return fmt.Sprintf("/sessions/%d/%s", c.id, action)
 }
 
-// do issues one request and decodes the JSON response into out (when
-// non-nil). Non-2xx responses return a *StatusError carrying the server's
-// error message.
+// do issues one request, retrying transport-level failures per the
+// client's Retry policy (HTTP status errors and context expiry never
+// retry), and decodes the JSON response into out (when non-nil). Non-2xx
+// responses return a *StatusError carrying the server's error message.
 func (c *HTTPClient) do(ctx context.Context, method, path string, body, out any) error {
+	backoff := c.retry.Backoff
+	const maxBackoff = 2 * time.Second
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			return err // the server answered; this is not a transport failure
+		}
+		if ctx.Err() != nil || attempt >= c.retry.Attempts {
+			return err
+		}
+		if !sleepCtx(ctx, backoff) {
+			return err
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// doOnce is one attempt of do.
+func (c *HTTPClient) doOnce(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)

@@ -126,6 +126,16 @@ func HTTPFactory(base string, hc *http.Client, mode core.Mode, predicate string)
 	}
 }
 
+// HTTPRetryFactory is HTTPFactory with a transport retry policy: clients
+// tag mutating requests with deterministic op ids and ride connection
+// failures out, so a population survives a server kill-and-restart
+// without perturbing any user's seeded path.
+func HTTPRetryFactory(base string, hc *http.Client, mode core.Mode, predicate string, retry Retry) ClientFactory {
+	return func(ctx context.Context, _ int) (Client, error) {
+		return NewHTTPClientRetry(ctx, base, hc, ModeString(mode), predicate, retry)
+	}
+}
+
 // ModeString renders a core.Mode as the server's wire token.
 func ModeString(m core.Mode) string {
 	switch m {

@@ -272,6 +272,52 @@ func (s *Scrape) Delta(before *Scrape) *Scrape {
 	return out
 }
 
+// Merge returns a snapshot with other's samples added: counters, gauges,
+// and histogram buckets/sums/counts all sum. Use it to account one
+// workload across a server restart, where each process lifetime exposes
+// its own registry starting from zero (the kill-and-resume soak scrapes
+// the dying process just before the kill and the recovered one at the
+// end, and SLOs are asserted over the merged totals).
+func (s *Scrape) Merge(other *Scrape) *Scrape {
+	out := &Scrape{values: make(map[string]float64, len(s.values)),
+		hists: make(map[string]*HistogramSnapshot, len(s.hists))}
+	for id, v := range s.values {
+		out.values[id] = v
+	}
+	//subdex:orderinsensitive keyed map merge: every write adds into its own key, order cannot change the result
+	for id, v := range other.values {
+		out.values[id] += v
+	}
+	copyHist := func(h *HistogramSnapshot) *HistogramSnapshot {
+		return &HistogramSnapshot{
+			Bounds: append([]float64(nil), h.Bounds...),
+			Counts: append([]int64(nil), h.Counts...),
+			Sum:    h.Sum,
+			Count:  h.Count,
+		}
+	}
+	for id, h := range s.hists {
+		out.hists[id] = copyHist(h)
+	}
+	//subdex:orderinsensitive keyed map merge: per-key accumulation, order cannot change the result
+	for id, h := range other.hists {
+		d, ok := out.hists[id]
+		if !ok {
+			out.hists[id] = copyHist(h)
+			continue
+		}
+		if len(d.Counts) != len(h.Counts) {
+			continue // differing layouts cannot merge; keep the first
+		}
+		for i, c := range h.Counts {
+			d.Counts[i] += c
+		}
+		d.Sum += h.Sum
+		d.Count += h.Count
+	}
+	return out
+}
+
 // inf marks the +Inf bucket bound.
 var inf = math.Inf(1)
 
