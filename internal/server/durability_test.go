@@ -388,6 +388,167 @@ func TestOpIDDedup(t *testing.T) {
 	}
 }
 
+// TestStepRetryOpidOnNonStepOp pins the retry fast path's kind guard: a
+// GET step whose opid tags the last committed *apply* — on a session
+// with zero steps — must fall through to normal execution instead of
+// indexing an empty step list. Before the guard this panicked with the
+// entry lock held, wedging the session into 409s forever.
+func TestStepRetryOpidOnNonStepOp(t *testing.T) {
+	store := sessionstore.NewMemStore()
+	_, ts := durableServer(t, store, Options{})
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+
+	applyURL := fmt.Sprintf("%s/sessions/%d/apply", ts.URL, id)
+	resp, _ := postJSON(t, applyURL, map[string]any{"predicate": "reviewers.gender = 'female'", "op_id": "x-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply: %d", resp.StatusCode)
+	}
+
+	code, sj := stepBody(t, ts, id, "?opid=x-1")
+	if code != http.StatusOK {
+		t.Fatalf("step with the apply's opid: %d, want 200", code)
+	}
+	if len(sj.Maps) == 0 {
+		t.Error("fall-through step returned no maps")
+	}
+	// The entry lock must have been released: the session keeps serving.
+	if got := summarySteps(t, ts, id); got != 1 {
+		t.Errorf("steps = %d, want 1", got)
+	}
+	if snap, _, _ := store.Get(id); len(snap.Ops) != 2 {
+		t.Errorf("persisted ops = %d, want 2 (apply + executed step)", len(snap.Ops))
+	}
+}
+
+// TestDeleteVsRestoreRace pins the delete/restore interlock: a DELETE
+// that lands while another request is mid-restore (replaying the session
+// through the engine, outside every server lock) must win. Before the
+// tombstone + install-time store re-check, the restore re-installed the
+// session after its store record was gone — DELETE answered 200 yet the
+// session kept serving, leaked the live gauge, and 500ed on its next
+// committed op.
+func TestDeleteVsRestoreRace(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	var offset atomic.Int64
+	clock := func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	var arm atomic.Bool
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	cfg := lightConfig()
+	cfg.Engine.MinPhaseRecords = 1
+	cfg.Engine.PhaseHook = func(ctx context.Context, phase int) {
+		if arm.Load() {
+			once.Do(func() { close(entered); <-release })
+		}
+	}
+	s, ts := testServerWith(t, cfg, Options{
+		Store:           sessionstore.NewMemStore(),
+		SessionTTL:      time.Minute,
+		JanitorInterval: time.Hour,
+		Clock:           clock,
+	})
+
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "ud"})
+	id := int(created["id"].(float64))
+	if code, _ := stepBody(t, ts, id, ""); code != http.StatusOK {
+		t.Fatal("step")
+	}
+	offset.Store(int64(2 * time.Minute))
+	if n := s.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	// Cold cache forces the restore replay through real engine phases,
+	// where the armed hook can hold it mid-flight.
+	s.ex.InvalidateEngineCache()
+	arm.Store(true)
+
+	restoreCode := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("%s/sessions/%d/summary", ts.URL, id))
+		if err != nil {
+			t.Error(err)
+			restoreCode <- 0
+			return
+		}
+		resp.Body.Close()
+		restoreCode <- resp.StatusCode
+	}()
+	<-entered // the restore is replaying, between its store read and its install
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", ts.URL, id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE during restore: %d, want 200", resp.StatusCode)
+	}
+	close(release)
+
+	if code := <-restoreCode; code != http.StatusNotFound {
+		t.Errorf("restore that lost to DELETE answered %d, want 404", code)
+	}
+	if code, _ := stepBody(t, ts, id, ""); code != http.StatusNotFound {
+		t.Errorf("deleted session answered %d, want 404", code)
+	}
+	text := metricsText(t, ts)
+	if !strings.Contains(text, "subdex_sessions_in_flight 0") {
+		t.Errorf("resurrected session leaked the live gauge:\n%s", grepMetric(text, "in_flight"))
+	}
+}
+
+// staleShedStore fails every Shed with ErrStaleShed, simulating a
+// janitor snapshot that lost the race against a concurrent
+// restore-and-commit or DELETE.
+type staleShedStore struct {
+	sessionstore.Store
+}
+
+func (s *staleShedStore) Shed(id int, snap *core.SessionSnapshot) error {
+	return fmt.Errorf("%w: injected", sessionstore.ErrStaleShed)
+}
+
+// TestJanitorStaleShedBenign pins EvictIdle's handling of a refused
+// stale shed: it is the store protecting newer durable state, not a WAL
+// failure — no failure counter, no shed counter, and the session (whose
+// per-op records are all still in the store) remains restorable.
+func TestJanitorStaleShedBenign(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	var offset atomic.Int64
+	clock := func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	s, ts := durableServer(t, &staleShedStore{Store: sessionstore.NewMemStore()}, Options{
+		SessionTTL:      time.Minute,
+		JanitorInterval: time.Hour,
+		Clock:           clock,
+	})
+
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	id := int(created["id"].(float64))
+	if code, _ := stepBody(t, ts, id, ""); code != http.StatusOK {
+		t.Fatal("step")
+	}
+	offset.Store(int64(2 * time.Minute))
+	if n := s.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+
+	text := metricsText(t, ts)
+	if !strings.Contains(text, "subdex_wal_append_failures_total 0") {
+		t.Errorf("stale shed counted as WAL failure:\n%s", grepMetric(text, "append_failures"))
+	}
+	if !strings.Contains(text, "subdex_sessions_shed_total 0") {
+		t.Errorf("refused shed counted as shed:\n%s", grepMetric(text, "shed"))
+	}
+	// The log-before-respond records (create + step) are untouched, so
+	// the session restores and keeps its history.
+	if got := summarySteps(t, ts, id); got != 1 {
+		t.Errorf("restored session lost its step: %d", got)
+	}
+}
+
 // TestUnknownSessionChecksStore pins the 404 path: with a store
 // configured, a genuinely unknown id still 404s on reads and deletes.
 func TestUnknownSessionChecksStore(t *testing.T) {

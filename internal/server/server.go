@@ -186,6 +186,12 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[int]*sessionEntry
+	// deleting holds a refcount of in-flight DELETEs per session id,
+	// set in the same critical section that removes the map entry and
+	// cleared after the durable delete lands. entryOrRestore refuses to
+	// install while it is nonzero, so a concurrent restore can never
+	// resurrect a session mid-delete (see handleDelete).
+	deleting map[int]int
 	nextID   int
 
 	stopOnce sync.Once
@@ -265,6 +271,7 @@ func NewWithOptionsCtx(ctx context.Context, db *dataset.DB, cfg core.Config, opt
 			"Operations that committed in memory but failed to persist (the request answered 500)."),
 		store:    opts.Store,
 		sessions: make(map[int]*sessionEntry),
+		deleting: make(map[int]int),
 		routeIns: make(map[string]*routeInstruments, len(routes)),
 		nextID:   1,
 		stop:     make(chan struct{}),
@@ -449,6 +456,15 @@ func (s *Server) EvictIdle() int {
 	}
 	for _, it := range shed {
 		if err := s.store.Shed(it.id, it.snap); err != nil {
+			if errors.Is(err, sessionstore.ErrStaleShed) {
+				// The session moved on between the map removal above and
+				// this append: a request restored it and durably committed
+				// a newer op, or a DELETE removed it. Either way our
+				// snapshot is obsolete and the store's refusal preserved
+				// the newer state — dropping it is the correct outcome,
+				// not a failure.
+				continue
+			}
 			// The session left memory but its full snapshot missed the
 			// log. The store's mirror still has it (mirror-ahead-of-log
 			// heals at compaction); record the failure loudly.
@@ -789,6 +805,23 @@ func (s *Server) entryOrRestore(ctx context.Context, id int) (*sessionEntry, int
 		s.mu.Unlock()
 		return e, 0, ""
 	}
+	// A concurrent DELETE may have removed the session while we were
+	// replaying it; installing now would resurrect a session the client
+	// was told is gone. Both checks run under s.mu: the tombstone covers
+	// a delete whose durable removal is still in flight, the store
+	// re-read covers one that already finished. Get is a pure mirror
+	// read, so no file I/O happens under the lock.
+	if s.deleting[id] > 0 {
+		s.mu.Unlock()
+		return nil, http.StatusNotFound, "no such session"
+	}
+	if _, still, serr := s.store.Get(id); serr != nil || !still {
+		s.mu.Unlock()
+		if serr != nil {
+			return nil, http.StatusInternalServerError, "session store: " + serr.Error()
+		}
+		return nil, http.StatusNotFound, "no such session"
+	}
 	e := &sessionEntry{sess: sess, lastUsed: s.now()}
 	s.sessions[id] = e
 	s.mu.Unlock()
@@ -818,7 +851,22 @@ func (s *Server) handleDelete(w http.ResponseWriter, id int) {
 		delete(s.sessions, id)
 		e.mu.Unlock()
 	}
+	// Tombstone the id in the same critical section as the removal:
+	// until the durable delete below lands, a concurrent entryOrRestore
+	// must not re-install a copy it restored from the still-present
+	// store record — a 200 here must never leave a live session whose
+	// record is gone (it would serve without durability and 500 on its
+	// next committed op). Restores that finish after the tombstone
+	// clears re-read the store under s.mu and find the record deleted.
+	s.deleting[id]++
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.deleting[id]--; s.deleting[id] <= 0 {
+			delete(s.deleting, id)
+		}
+		s.mu.Unlock()
+	}()
 	inStore := false
 	if s.store != nil && !ok {
 		// A shed session is still deletable: check the store before 404ing.
@@ -955,13 +1003,17 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, id int, e *s
 	// committed (the connection died before the response — e.g. across a
 	// crash), re-render the committed step instead of executing a new
 	// one. This is the client half of exactly-once step semantics; the
-	// log-before-respond below is the server half.
-	if last, ok := e.sess.LastOp(); opid != "" && ok && last.OpID == opid {
-		steps := e.sess.Steps()
-		payload := s.stepJSON(e.sess, steps[len(steps)-1], explain)
-		e.mu.Unlock()
-		writeJSON(w, http.StatusOK, payload)
-		return
+	// log-before-respond below is the server half. The committed op must
+	// actually be a step — a client reusing an apply's opid here would
+	// otherwise have us index an empty or unrelated step list — so any
+	// other kind falls through to normal execution.
+	if last, ok := e.sess.LastOp(); opid != "" && ok && last.OpID == opid && last.Kind == core.OpStep {
+		if steps := e.sess.Steps(); len(steps) > 0 {
+			payload := s.stepJSON(e.sess, steps[len(steps)-1], explain)
+			e.mu.Unlock()
+			writeJSON(w, http.StatusOK, payload)
+			return
+		}
 	}
 	stepStart := time.Now()
 	step, err := e.sess.StepCtx(r.Context())
@@ -1072,8 +1124,10 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, id int, e *
 	}
 	sess := e.sess
 	// Idempotent retry, mirroring handleStep: an already-committed op is
-	// answered from state, not re-applied.
-	if last, ok := sess.LastOp(); req.OpID != "" && ok && last.OpID == req.OpID {
+	// answered from state, not re-applied. The kind check mirrors
+	// handleStep's: an opid that tags a committed *step* is not a
+	// committed apply, however the client mislabeled it.
+	if last, ok := sess.LastOp(); req.OpID != "" && ok && last.OpID == req.OpID && last.Kind != core.OpStep {
 		sel := sess.Current().String()
 		e.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]string{"selection": sel})

@@ -55,7 +55,15 @@ type FileStore struct {
 	dir  string
 	path string
 
-	wmu              sync.Mutex // serializes mirror+file mutation and compaction
+	wmu sync.Mutex // serializes mirror+file mutation and compaction
+	// swapMu orders the post-wmu fsync against the compaction file swap:
+	// an appender takes it shared (before releasing wmu, so no swap can
+	// slip in between) and holds it across its Sync; compaction and Close
+	// take it exclusively around closing the old file. Without it a
+	// concurrent compaction could close the file under an in-flight Sync,
+	// turning a durably-written record into a spurious fsync failure.
+	// Lock order is always wmu then swapMu.
+	swapMu           sync.RWMutex
 	f                *os.File
 	recsSinceCompact int
 	compactEvery     int
@@ -201,6 +209,9 @@ func (fs *FileStore) Close() error {
 	if fs.f == nil {
 		return nil
 	}
+	// As in compact: let in-flight appender Syncs drain before the close.
+	fs.swapMu.Lock()
+	defer fs.swapMu.Unlock()
 	err := fs.f.Sync()
 	if cerr := fs.f.Close(); err == nil {
 		err = cerr
@@ -229,14 +240,21 @@ func (fs *FileStore) logAppend(rec walRecord) error {
 	f := fs.f
 	fs.recsSinceCompact++
 	compactDue := werr == nil && fs.compactEvery > 0 && fs.recsSinceCompact >= fs.compactEvery
+	// Pin f against a concurrent compaction's close until our Sync
+	// returns; acquired before wmu is released so the swap cannot happen
+	// in between. See the swapMu field comment.
+	fs.swapMu.RLock()
 	fs.wmu.Unlock()
 	if werr != nil {
+		fs.swapMu.RUnlock()
 		return fmt.Errorf("sessionstore: wal write: %w", werr)
 	}
 	ins := fs.bump(func(s *Stats) { s.Appends++ })
 	ins.Appends.Inc()
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("sessionstore: wal fsync: %w", err)
+	serr := f.Sync()
+	fs.swapMu.RUnlock()
+	if serr != nil {
+		return fmt.Errorf("sessionstore: wal fsync: %w", serr)
 	}
 	ins = fs.bump(func(s *Stats) { s.Fsyncs++ })
 	ins.Fsyncs.Inc()
@@ -310,8 +328,13 @@ func (fs *FileStore) compact() {
 	// logs replay to a consistent store, so that is a durability detail,
 	// not a correctness hole.
 	syncDir(fs.dir)
+	// Wait for in-flight appender Syncs (they hold swapMu shared) before
+	// closing the file out from under them. New appenders cannot arrive:
+	// they need wmu, which this function holds.
+	fs.swapMu.Lock()
 	fs.f.Close()
 	fs.f = tmp
+	fs.swapMu.Unlock()
 	fs.recsSinceCompact = 0
 	fs.bump(func(s *Stats) { s.Compactions++ })
 }

@@ -18,12 +18,21 @@
 package sessionstore
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"subdex/internal/core"
 	"subdex/internal/obs"
 )
+
+// ErrStaleShed reports a rejected Shed: between the caller snapshotting
+// the session and the shed reaching the store, the store's record moved
+// past it — an acknowledged op was appended (a restored copy of the
+// session kept going) or the session was deleted. Accepting the shed
+// would erase that newer durable state, so the store refuses; the caller
+// must drop its snapshot, which is the correct outcome, not a failure.
+var ErrStaleShed = errors.New("sessionstore: stale shed")
 
 // Store is the durable session store. Implementations are safe for
 // concurrent use. An op append or shed that returns nil has been made

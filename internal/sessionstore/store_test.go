@@ -1,6 +1,7 @@
 package sessionstore
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -99,6 +100,17 @@ func TestStoreContract(t *testing.T) {
 				t.Errorf("shed must keep its Final: %+v", got.Final)
 			}
 
+			// A stale shed — a snapshot with fewer ops than the record it
+			// would replace — must be refused: between snapshot and shed a
+			// restored copy committed (and was acknowledged for) more ops,
+			// and overwriting would erase them.
+			if err := s.Shed(2, snap("TRUE", stepOp("2-1"))); !errors.Is(err, ErrStaleShed) {
+				t.Fatalf("stale shed: err = %v, want ErrStaleShed", err)
+			}
+			if got, _, _ = s.Get(2); len(got.Ops) != 2 {
+				t.Fatalf("stale shed mutated the record: %d ops, want 2", len(got.Ops))
+			}
+
 			// Mutating a returned copy must not reach the mirror.
 			got.Ops[0].OpID = "mutated"
 			again, _, _ := s.Get(2)
@@ -121,6 +133,13 @@ func TestStoreContract(t *testing.T) {
 			}
 			if _, ok, _ := s.Get(2); ok {
 				t.Error("deleted session still readable")
+			}
+			// A shed that raced a delete must not resurrect the session.
+			if err := s.Shed(2, shed); !errors.Is(err, ErrStaleShed) {
+				t.Fatalf("shed after delete: err = %v, want ErrStaleShed", err)
+			}
+			if _, ok, _ := s.Get(2); ok {
+				t.Error("stale shed resurrected a deleted session")
 			}
 			// The watermark survives deleting the highest id.
 			if _, next, _ = s.All(); next != 3 {
@@ -251,6 +270,52 @@ func TestFileStoreConcurrentAppends(t *testing.T) {
 	for id, s := range all {
 		if len(s.Ops) != ops {
 			t.Errorf("session %d: %d ops, want %d", id, len(s.Ops), ops)
+		}
+	}
+}
+
+// TestConcurrentAppendsAcrossCompaction pins the fsync-vs-swap ordering:
+// with compaction firing on every append, a concurrent appender's Sync
+// must never land on a file a compaction just closed — before swapMu
+// that surfaced as a spurious "file already closed" fsync failure (and a
+// client-facing 500) for a record that was in fact durable in the
+// compacted log. Run under -race in CI.
+func TestConcurrentAppendsAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	fs := openFile(t, dir, FileOptions{CompactEvery: 1})
+	const sessions, ops = 6, 25
+	for id := 1; id <= sessions; id++ {
+		if err := fs.Create(id, snap("TRUE")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for id := 1; id <= sessions; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if err := fs.AppendOp(id, i, stepOp("")); err != nil {
+					t.Errorf("session %d op %d: %v", id, i, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openFile(t, dir, FileOptions{CompactEvery: -1})
+	all, _, _ := re.All()
+	for id := 1; id <= sessions; id++ {
+		s, ok := all[id]
+		if !ok {
+			t.Errorf("session %d lost", id)
+			continue
+		}
+		if len(s.Ops) != ops {
+			t.Errorf("session %d: %d ops after reopen, want %d", id, len(s.Ops), ops)
 		}
 	}
 }

@@ -15,10 +15,12 @@ import (
 // tails are detected without trusting JSON well-formedness alone. Replay
 // recovers the longest valid prefix: the first undecodable or
 // checksum-failing line ends recovery and the file is truncated there.
-// Two well-formed redundancies are tolerated mid-stream instead of
+// Three well-formed redundancies are tolerated mid-stream instead of
 // truncating — an op whose seq was already applied (a duplicate append
-// after an ill-timed crash) and an op for a session no longer present
-// (its delete already applied) — because both have exactly one correct
+// after an ill-timed crash), an op for a session no longer present (its
+// delete already applied), and a shed that is stale (its snapshot has
+// fewer ops than the record it would replace, or its session was
+// already deleted in this log) — because each has exactly one correct
 // interpretation: skip.
 
 // Record kinds. A create opens a session with its base snapshot, an op
@@ -118,6 +120,22 @@ func (st *memState) apply(rec walRecord) error {
 		if rec.Snap == nil {
 			return fmt.Errorf("sessionstore: shed record without snapshot")
 		}
+		// A shed wholesale-replaces the record, so it must not be older
+		// than what it replaces: between the caller snapshotting the
+		// session and this append, a restored copy may have committed
+		// (and durably logged) further ops, or a delete may have removed
+		// the session. Overwriting would erase acknowledged state —
+		// later AppendOps would fail their seq check forever and a
+		// restart would resume pre-op — so a stale shed is refused
+		// before anything is written.
+		cur, ok := st.sessions[rec.ID]
+		if !ok {
+			return fmt.Errorf("%w: session %d no longer exists", ErrStaleShed, rec.ID)
+		}
+		if len(rec.Snap.Ops) < len(cur.Ops) {
+			return fmt.Errorf("%w: session %d snapshot has %d ops, record has %d",
+				ErrStaleShed, rec.ID, len(rec.Snap.Ops), len(cur.Ops))
+		}
 		st.sessions[rec.ID] = rec.Snap
 		st.bumpNextID(rec.ID)
 	case recDelete:
@@ -134,7 +152,9 @@ func (st *memState) apply(rec walRecord) error {
 // whether the record was applied (false: skipped as redundant). An error
 // means the record is inconsistent with the recovered prefix (e.g. a seq
 // gap, which proves a lost write) — the caller stops and truncates.
-func (st *memState) replay(rec walRecord) (bool, error) {
+// deleted is the set of ids a recDelete removed earlier in this stream;
+// the caller owns it across the whole replay.
+func (st *memState) replay(rec walRecord, deleted map[int]bool) (bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	switch rec.Kind {
@@ -164,10 +184,22 @@ func (st *memState) replay(rec walRecord) (bool, error) {
 		if rec.Snap == nil {
 			return false, fmt.Errorf("sessionstore: shed record without snapshot")
 		}
+		// A shed for an id this log never deleted but does not hold is a
+		// creation — that is the shape compaction writes. A shed for a
+		// deleted id, or one older than the record it would replace, is
+		// the stale leftover apply refuses on the live path: skip it
+		// rather than resurrect or rewind acknowledged state.
+		if deleted[rec.ID] {
+			return false, nil
+		}
+		if cur, ok := st.sessions[rec.ID]; ok && len(rec.Snap.Ops) < len(cur.Ops) {
+			return false, nil
+		}
 		st.sessions[rec.ID] = rec.Snap
 		st.bumpNextID(rec.ID)
 	case recDelete:
 		delete(st.sessions, rec.ID)
+		deleted[rec.ID] = true
 	case recNext:
 		st.bumpNextID(rec.ID)
 	default:
@@ -202,6 +234,7 @@ type replayResult struct {
 // recovered prefix.
 func replayWAL(st *memState, r io.Reader) replayResult {
 	var res replayResult
+	deleted := make(map[int]bool)
 	br := bufio.NewReaderSize(r, 1<<16)
 	for {
 		line, err := br.ReadBytes('\n')
@@ -224,7 +257,7 @@ func replayWAL(st *memState, r io.Reader) replayResult {
 			res.Reason = derr.Error()
 			return res
 		}
-		applied, aerr := st.replay(rec)
+		applied, aerr := st.replay(rec, deleted)
 		if aerr != nil {
 			res.Truncated = true
 			res.Reason = aerr.Error()

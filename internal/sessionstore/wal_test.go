@@ -129,6 +129,25 @@ func TestWALTorture(t *testing.T) {
 			wantOps: -1, wantSkipped: 1,
 		},
 		{
+			name: "stale shed (fewer ops) skipped",
+			raw: func(t *testing.T) []byte {
+				return append(append([]byte{}, base...),
+					lines(t, walRecord{Kind: recShed, ID: 1, Snap: snap("TRUE", stepOp("1-1"))})...)
+			},
+			wantOps: 2, wantSkipped: 1,
+		},
+		{
+			name: "shed after delete skipped",
+			raw: func(t *testing.T) []byte {
+				return append(append([]byte{}, base...),
+					lines(t,
+						walRecord{Kind: recDelete, ID: 1},
+						walRecord{Kind: recShed, ID: 1, Snap: snap("TRUE", stepOp("1-1"))},
+					)...)
+			},
+			wantOps: -1, wantSkipped: 1,
+		},
+		{
 			name: "unknown record kind ends the prefix",
 			raw: func(t *testing.T) []byte {
 				return append(append([]byte{}, base...),
