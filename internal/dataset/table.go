@@ -20,6 +20,9 @@ type EntityTable struct {
 	// multi[a][row] is the sorted set of value ids of attribute a for row.
 	// Only populated for multi-valued attributes.
 	multi [][][]ValueID
+	// cols are the flat scan-kernel projections, built by DB.Freeze
+	// (see columnar.go); nil until then.
+	cols []AttrColumn
 }
 
 // NewEntityTable creates an empty table with the given schema.
@@ -260,6 +263,12 @@ func (db *DB) Freeze() error {
 		}
 		db.byReviewer[u] = append(db.byReviewer[u], int32(r))
 		db.byItem[i] = append(db.byItem[i], int32(r))
+	}
+	if err := db.Reviewers.buildColumnar(); err != nil {
+		return err
+	}
+	if err := db.Items.buildColumnar(); err != nil {
+		return err
 	}
 	db.frozen = true
 	return nil

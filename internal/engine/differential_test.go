@@ -281,10 +281,20 @@ func TestDifferentialShardedAccumulation(t *testing.T) {
 				seq := g.Builder.NewAccumulator(desc, keys)
 				seq.Update(recs)
 				seqDigest := snapshotDigest(seq, keys)
+				// The default builder scans through the fused columnar
+				// kernel; the map-based reference path must produce a
+				// bit-identical digest on every record set.
+				mapB := ratingmap.Builder{DB: db, DisableKernel: true}
+				mapAcc := mapB.NewAccumulator(desc, keys)
+				mapAcc.Update(recs)
+				if d := snapshotDigest(mapAcc, keys); d != seqDigest {
+					t.Fatalf("seed=%d shape=%v: kernel digest differs from map-based reference path",
+						seed, sh)
+				}
 				for _, workers := range workersFor(len(recs)) {
 					for _, minPerShard := range []int{1, 3, 64} {
 						acc := g.Builder.NewAccumulator(desc, keys)
-						g.shardedAccumulate(acc, recs, workers, minPerShard)
+						g.accumulate(acc, recs, workers, minPerShard)
 						assertAccMatchesReference(t, acc, ref, keys)
 						if d := snapshotDigest(acc, keys); d != seqDigest {
 							t.Fatalf("seed=%d shape=%v workers=%d minPerShard=%d: sharded digest differs from sequential",
@@ -484,5 +494,241 @@ func TestDifferentialCacheSeenSetFreshness(t *testing.T) {
 		if gotB.Utilities[i] != wantB.Utilities[i] {
 			t.Fatalf("step 2 utility[%d]: %g vs %g", i, gotB.Utilities[i], wantB.Utilities[i])
 		}
+	}
+}
+
+// assertKernelFamily runs one adversarial record set through every scan
+// path — fused kernel, map-based reference builder, independent
+// brute-force reference, and the sharded pool — and demands bit-identical
+// digests everywhere.
+func assertKernelFamily(t *testing.T, db *dataset.DB, records []int32) {
+	t.Helper()
+	keys := allCandidates(db)
+	desc := query.Description{}
+	ref := referenceHistograms(db, records, keys)
+
+	kernelB := ratingmap.Builder{DB: db}
+	mapB := ratingmap.Builder{DB: db, DisableKernel: true}
+
+	kacc := kernelB.NewAccumulator(desc, keys)
+	kacc.Update(records)
+	assertAccMatchesReference(t, kacc, ref, keys)
+	want := snapshotDigest(kacc, keys)
+
+	macc := mapB.NewAccumulator(desc, keys)
+	macc.Update(records)
+	if got := snapshotDigest(macc, keys); got != want {
+		t.Fatal("kernel digest differs from map-based reference path")
+	}
+
+	g := &Generator{DB: db, Builder: kernelB}
+	for _, workers := range []int{2, 5, len(records) + 3} {
+		acc := kernelB.NewAccumulator(desc, keys)
+		g.accumulate(acc, records, workers, 1)
+		if got := snapshotDigest(acc, keys); got != want {
+			t.Fatalf("workers=%d: sharded kernel digest differs from one-shot", workers)
+		}
+	}
+}
+
+// TestDifferentialKernelAdversarial crafts record sets aimed at the fused
+// kernel's specific failure modes: repeated value IDs inside multi-valued
+// sets, rows with every value missing, all-zero score columns, dictionary
+// IDs far past the reference path's initial counter capacity (and hit
+// high-before-low, so slice growth patterns diverge maximally), empty
+// record ranges, and single-record groups. Each family must be digest-
+// identical across kernel, map-based reference, brute force, and the
+// sharded pool.
+func TestDifferentialKernelAdversarial(t *testing.T) {
+	mustRow := func(t *testing.T, et *dataset.EntityTable, id string,
+		vals map[string]string, multi map[string][]string) {
+		t.Helper()
+		if _, err := et.AppendRow(id, vals, multi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freeze := func(t *testing.T, rev, item *dataset.EntityTable,
+		ratings *dataset.RatingTable) *dataset.DB {
+		t.Helper()
+		db := dataset.NewDB("adv", rev, item, ratings)
+		if err := db.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	newTables := func(t *testing.T) (*dataset.EntityTable, *dataset.EntityTable, *dataset.RatingTable) {
+		t.Helper()
+		rev := dataset.NewEntityTable("reviewers", dataset.MustSchema(
+			dataset.Attribute{Name: "gender", Kind: dataset.Atomic},
+			dataset.Attribute{Name: "tags", Kind: dataset.MultiValued},
+		))
+		item := dataset.NewEntityTable("items", dataset.MustSchema(
+			dataset.Attribute{Name: "city", Kind: dataset.Atomic},
+			dataset.Attribute{Name: "cuisine", Kind: dataset.MultiValued},
+		))
+		ratings, err := dataset.NewRatingTable(
+			dataset.Dimension{Name: "overall", Scale: 5},
+			dataset.Dimension{Name: "value", Scale: 3},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rev, item, ratings
+	}
+	allRecords := func(db *dataset.DB) []int32 {
+		recs := make([]int32, db.Ratings.Len())
+		for i := range recs {
+			recs[i] = int32(i)
+		}
+		return recs
+	}
+
+	t.Run("repeated-multivalues", func(t *testing.T) {
+		// Every reviewer shares the same overlapping tag sets, and the
+		// input slice repeats tags — the scan must count each stored set
+		// member exactly once per record regardless.
+		rev, item, ratings := newTables(t)
+		for u := 0; u < 4; u++ {
+			mustRow(t, rev, fmt.Sprintf("u%d", u), map[string]string{"gender": "x"},
+				map[string][]string{"tags": {"a", "b", "a", "b", "a"}})
+		}
+		mustRow(t, item, "i0", map[string]string{"city": "nyc"},
+			map[string][]string{"cuisine": {"thai", "thai", "bbq"}})
+		for r := 0; r < 60; r++ {
+			if err := ratings.Append(r%4, 0, []dataset.Score{
+				dataset.Score(1 + r%5), dataset.Score(1 + r%3)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db := freeze(t, rev, item, ratings)
+		assertKernelFamily(t, db, allRecords(db))
+	})
+
+	t.Run("all-missing-values", func(t *testing.T) {
+		// Rows whose every attribute is missing (ValueID 0 / empty sets):
+		// the kernel's discard row must swallow them without a trace.
+		rev, item, ratings := newTables(t)
+		for u := 0; u < 3; u++ {
+			mustRow(t, rev, fmt.Sprintf("u%d", u), map[string]string{}, nil)
+		}
+		mustRow(t, item, "i0", map[string]string{}, nil)
+		mustRow(t, item, "i1", map[string]string{"city": "sf"},
+			map[string][]string{"cuisine": {"vegan"}})
+		for r := 0; r < 40; r++ {
+			if err := ratings.Append(r%3, r%2, []dataset.Score{
+				dataset.Score(r % 6), dataset.Score(r % 4)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db := freeze(t, rev, item, ratings)
+		assertKernelFamily(t, db, allRecords(db))
+	})
+
+	t.Run("all-zero-scores", func(t *testing.T) {
+		// One dimension entirely missing scores, the other mixed: the
+		// kernel's discard column absorbs the zero-score increments.
+		rev, item, ratings := newTables(t)
+		mustRow(t, rev, "u0", map[string]string{"gender": "y"},
+			map[string][]string{"tags": {"a"}})
+		mustRow(t, item, "i0", map[string]string{"city": "austin"},
+			map[string][]string{"cuisine": {"bbq", "diner"}})
+		for r := 0; r < 30; r++ {
+			if err := ratings.Append(0, 0, []dataset.Score{
+				0, dataset.Score(r % 4)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db := freeze(t, rev, item, ratings)
+		assertKernelFamily(t, db, allRecords(db))
+	})
+
+	t.Run("high-value-ids-first", func(t *testing.T) {
+		// A wide dictionary (~50 IDs per attribute) with records ordered
+		// so the highest value IDs are scanned before the lowest: the
+		// reference path's counts slice grows in a completely different
+		// pattern than the kernel's pre-sized dense block, and the digest
+		// must not notice.
+		rev, item, ratings := newTables(t)
+		const wide = 50
+		for u := 0; u < wide; u++ {
+			mustRow(t, rev, fmt.Sprintf("u%d", u),
+				map[string]string{"gender": fmt.Sprintf("g%02d", u)},
+				map[string][]string{"tags": {fmt.Sprintf("t%02d", u), "shared"}})
+		}
+		mustRow(t, item, "i0", map[string]string{"city": "nyc"},
+			map[string][]string{"cuisine": {"thai"}})
+		for u := wide - 1; u >= 0; u-- { // descending: high IDs hit first
+			for rep := 0; rep < 2; rep++ {
+				if err := ratings.Append(u, 0, []dataset.Score{
+					dataset.Score(1 + (u+rep)%5), dataset.Score(1 + u%3)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		db := freeze(t, rev, item, ratings)
+		assertKernelFamily(t, db, allRecords(db))
+	})
+
+	t.Run("empty-and-single-record", func(t *testing.T) {
+		rev, item, ratings := newTables(t)
+		mustRow(t, rev, "u0", map[string]string{"gender": "z"},
+			map[string][]string{"tags": {"a", "b"}})
+		mustRow(t, rev, "u1", map[string]string{}, nil)
+		mustRow(t, item, "i0", map[string]string{"city": "sf"}, nil)
+		for r := 0; r < 10; r++ {
+			if err := ratings.Append(r%2, 0, []dataset.Score{
+				dataset.Score(r % 6), dataset.Score(1 + r%3)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db := freeze(t, rev, item, ratings)
+		assertKernelFamily(t, db, nil)       // empty range
+		assertKernelFamily(t, db, []int32{}) // empty non-nil range
+		for r := int32(0); r < 10; r++ {     // every single-record group
+			assertKernelFamily(t, db, []int32{r})
+		}
+	})
+}
+
+// TestShardMinRecordsConfig proves the ShardMinRecords knob is plumbed
+// from Config through TopMaps into the shard pool: the default floor
+// keeps a small group sequential no matter how many workers are
+// configured, a floor of 1 shards the same group, and both produce
+// bit-identical maps.
+func TestShardMinRecordsConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	db := buildRandomDB(t, rng, 12, 10, 1200)
+	keys := allCandidates(db)
+	g := NewGenerator(db)
+	group := wholeGroup(t, db)
+
+	run := func(workers, minPerShard int) *Result {
+		cfg := DefaultConfig()
+		cfg.Pruning = PruneNone
+		cfg.Workers = workers
+		cfg.ShardMinRecords = minPerShard
+		res, err := g.TopMaps(group, keys, ratingmap.NewSeenSet(), 6, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// 1200 records sit below the 2048 default floor: sequential scan,
+	// whether the floor is spelled out or left 0 for normalization.
+	if res := run(8, 0); res.Profile.Shards != 1 {
+		t.Fatalf("ShardMinRecords=0 (default): Shards=%d, want 1", res.Profile.Shards)
+	}
+	if res := run(8, defaultShardMinRecords); res.Profile.Shards != 1 {
+		t.Fatalf("ShardMinRecords=default: Shards=%d, want 1", res.Profile.Shards)
+	}
+
+	sharded := run(8, 1)
+	if sharded.Profile.Shards <= 1 {
+		t.Fatalf("ShardMinRecords=1, Workers=8: Shards=%d, want >1", sharded.Profile.Shards)
+	}
+	seq := run(1, 1)
+	if ratingmap.DigestMaps(sharded.Maps) != ratingmap.DigestMaps(seq.Maps) {
+		t.Fatal("sharded maps differ from sequential with ShardMinRecords=1")
 	}
 }

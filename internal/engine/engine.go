@@ -71,6 +71,13 @@ type Config struct {
 	// MinPhaseRecords skips phased execution for groups smaller than this:
 	// pruning overhead would exceed the scan cost.
 	MinPhaseRecords int
+	// ShardMinRecords is the per-shard record floor of the parallel scan:
+	// a scan is split into at most len(records)/ShardMinRecords shards, so
+	// small ranges stay sequential no matter how many Workers are
+	// configured. ≤ 0 means the conservative default (2048). Tests set 1
+	// to force multi-shard merges on tiny inputs through the public
+	// TopMaps path.
+	ShardMinRecords int
 	// ExactOnCacheMiss, with a Generator.Cache installed, disables the
 	// phase/pruning machinery on cache misses and runs the exact sharded
 	// scan instead, so every completed scan is cacheable. One exact scan
@@ -98,6 +105,7 @@ func DefaultConfig() Config {
 		Workers:         1,
 		Utility:         ratingmap.DefaultUtilityConfig(),
 		MinPhaseRecords: 5000,
+		ShardMinRecords: defaultShardMinRecords,
 	}
 }
 
@@ -198,6 +206,9 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 	if cfg.Phases <= 0 {
 		cfg.Phases = 1
 	}
+	if cfg.ShardMinRecords <= 0 {
+		cfg.ShardMinRecords = defaultShardMinRecords
+	}
 	start := time.Now()
 	ctx, span := obs.StartSpan(ctx, "engine.topmaps")
 	span.SetAttr("candidates", len(candidates))
@@ -285,7 +296,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		if err := ctx.Err(); err != nil {
 			return nil, err // nothing processed yet: fail, don't degrade
 		}
-		prof.noteShards(g.accumulate(acc, group.Records, cfg.Workers))
+		prof.noteShards(g.accumulate(acc, group.Records, cfg.Workers, cfg.ShardMinRecords))
 		res.RecordsProcessed = n
 		g.maybeCache(key, acc, res, n)
 		fstart := time.Now()
@@ -353,7 +364,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 				PrunedMAB:  res.PrunedMAB - mabBefore,
 			})
 		}
-		prof.noteShards(g.accumulate(acc, group.Records[lo:hi], cfg.Workers))
+		prof.noteShards(g.accumulate(acc, group.Records[lo:hi], cfg.Workers, cfg.ShardMinRecords))
 		processed = hi
 		if phase == cfg.Phases-1 {
 			endPhase()
@@ -424,7 +435,7 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 				lo := p * n / cfg.Phases
 				hi := (p + 1) * n / cfg.Phases
 				if lo < hi {
-					prof.noteShards(g.accumulate(acc, group.Records[lo:hi], cfg.Workers))
+					prof.noteShards(g.accumulate(acc, group.Records[lo:hi], cfg.Workers, cfg.ShardMinRecords))
 					processed = hi
 				}
 			}

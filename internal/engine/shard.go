@@ -19,30 +19,25 @@ import (
 	"subdex/internal/ratingmap"
 )
 
-// shardMinRecords is the per-shard floor for the parallel scan: below
-// roughly this many records per worker, goroutine startup and the merge
-// pass cost more than the scan they parallelize, so accumulate falls back
-// to the sequential path. Chosen conservatively; the differential tests
-// override it (via shardedAccumulate) to force multi-shard merges on tiny
-// inputs.
-const shardMinRecords = 2048
+// defaultShardMinRecords is the default per-shard floor for the parallel
+// scan (Config.ShardMinRecords): below roughly this many records per
+// worker, goroutine startup and the merge pass cost more than the scan
+// they parallelize, so accumulate falls back to the sequential path.
+// Chosen conservatively; tests set Config.ShardMinRecords to 1 to force
+// multi-shard merges on tiny inputs.
+const defaultShardMinRecords = 2048
 
 // accumulate feeds records into acc, sharding the scan across up to
-// workers goroutines when the range is large enough to pay for it.
-// workers ≤ 1 (the No-Parallelism and Naive baselines) always scans
-// sequentially. It reports how many shards the scan actually used (1 for
-// the sequential path), feeding the per-call Profile.
-func (g *Generator) accumulate(acc *ratingmap.Accumulator, records []int32, workers int) int {
-	return g.shardedAccumulate(acc, records, workers, shardMinRecords)
-}
-
-// shardedAccumulate is accumulate with an explicit per-shard record floor
-// (tests set it to 1 to force sharding on small inputs). Workers are
-// clamped so no shard is smaller than minPerShard; workers > len(records)
-// therefore degrades gracefully to one record per shard at most.
-func (g *Generator) shardedAccumulate(acc *ratingmap.Accumulator, records []int32, workers, minPerShard int) int {
-	if minPerShard < 1 {
-		minPerShard = 1
+// workers goroutines when the range is large enough to pay for it:
+// workers are clamped so no shard is smaller than minPerShard records
+// (workers far above len(records) therefore degrades gracefully to one
+// record per shard at most), and workers ≤ 1 (the No-Parallelism and
+// Naive baselines) always scans sequentially. minPerShard ≤ 0 means the
+// default floor. It reports how many shards the scan actually used (1
+// for the sequential path), feeding the per-call Profile.
+func (g *Generator) accumulate(acc *ratingmap.Accumulator, records []int32, workers, minPerShard int) int {
+	if minPerShard <= 0 {
+		minPerShard = defaultShardMinRecords
 	}
 	if mx := len(records) / minPerShard; workers > mx {
 		workers = mx

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"subdex/internal/engine"
@@ -28,6 +29,18 @@ type BenchEngineReport struct {
 	Candidates  int     `json:"candidates"`
 	Cores       int     `json:"cores"`
 	Workers     int     `json:"workers"`
+
+	// Map-based reference scan vs the fused columnar kernel, both
+	// sequential and uncached: the per-step cost of the Accumulator's two
+	// Update paths on identical inputs. KernelNsPerStep is the same
+	// measurement as SeqNsPerStep (the default builder scans through the
+	// kernel); RefNsPerStep disables it via Builder.DisableKernel. The
+	// pprof paths hold CPU profiles of each arm for flamegraph inspection.
+	RefNsPerStep    int64   `json:"ref_ns_per_step"`
+	KernelNsPerStep int64   `json:"kernel_ns_per_step"`
+	KernelSpeedup   float64 `json:"kernel_speedup"`
+	RefProfile      string  `json:"ref_profile"`
+	KernelProfile   string  `json:"kernel_profile"`
 
 	// Sequential (Workers=1, no cache) vs sharded parallel accumulation.
 	SeqNsPerStep int64   `json:"seq_ns_per_step"`
@@ -57,6 +70,28 @@ func benchIters(iters int, fn func()) int64 {
 		fn()
 	}
 	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+// profiledIters is benchIters with a CPU profile of the timed loop
+// written to path (the warmup stays outside the profile), so each bench
+// arm leaves flamegraph evidence next to the JSON report.
+func profiledIters(path string, iters int, fn func()) (int64, error) {
+	fn() // warmup, unprofiled
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	pprof.StopCPUProfile()
+	return elapsed.Nanoseconds() / int64(iters), nil
 }
 
 // BenchEngine measures the RM-Generator's hot path on the whole-database
@@ -104,10 +139,33 @@ func BenchEngine(p Params) error {
 		return res
 	}
 
-	// Reference: sequential scan, no cache.
+	out := p.benchOut()
+
+	// Kernel arm: the default builder scans through the fused columnar
+	// kernel. Sequential and uncached, so it doubles as the baseline for
+	// the parallel and cache comparisons below.
 	seqRes := run(g, 1)
 	wantDigest := ratingmap.DigestMaps(seqRes.Maps)
-	seqNs := benchIters(iters, func() { run(g, 1) })
+	// The kernel/reference pair gets extra iterations: the arms differ by
+	// tens of percent, not multiples, so they need tighter error bars (and
+	// enough samples for their CPU profiles) than the parallel/cache arms.
+	armIters := 10 * iters
+	kernelProfile := out + ".kernel.pprof"
+	seqNs, err := profiledIters(kernelProfile, armIters, func() { run(g, 1) })
+	if err != nil {
+		return err
+	}
+
+	// Reference arm: identical logical work through the map-based Update
+	// path (Builder.DisableKernel), for the kernel's before/after pair.
+	gRef := engine.NewGenerator(db)
+	gRef.Builder.DisableKernel = true
+	refRes := run(gRef, 1)
+	refProfile := out + ".ref.pprof"
+	refNs, err := profiledIters(refProfile, armIters, func() { run(gRef, 1) })
+	if err != nil {
+		return err
+	}
 
 	// Sharded parallel accumulation.
 	parRes := run(g, workers)
@@ -123,35 +181,42 @@ func BenchEngine(p Params) error {
 	warmRes := run(gc, workers)
 	st := gc.Cache.Stats()
 
-	identical := ratingmap.DigestMaps(parRes.Maps) == wantDigest &&
+	identical := ratingmap.DigestMaps(refRes.Maps) == wantDigest &&
+		ratingmap.DigestMaps(parRes.Maps) == wantDigest &&
 		ratingmap.DigestMaps(coldRes.Maps) == wantDigest &&
 		ratingmap.DigestMaps(warmRes.Maps) == wantDigest
 
 	rep := BenchEngineReport{
-		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
-		Dataset:       "yelp",
-		Scale:         p.scale(),
-		Records:       group.Len(),
-		Candidates:    len(cands),
-		Cores:         runtime.NumCPU(),
-		Workers:       workers,
-		SeqNsPerStep:  seqNs,
-		ParNsPerStep:  parNs,
-		ParSpeedup:    float64(seqNs) / float64(parNs),
-		ColdNsPerStep: coldNs,
-		WarmNsPerStep: warmNs,
-		WarmSpeedup:   float64(coldNs) / float64(warmNs),
-		Cache:         st,
-		CacheHitRate:  st.HitRate(),
-		MapsIdentical: identical,
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		Dataset:         "yelp",
+		Scale:           p.scale(),
+		Records:         group.Len(),
+		Candidates:      len(cands),
+		Cores:           runtime.NumCPU(),
+		Workers:         workers,
+		RefNsPerStep:    refNs,
+		KernelNsPerStep: seqNs,
+		KernelSpeedup:   float64(refNs) / float64(seqNs),
+		RefProfile:      refProfile,
+		KernelProfile:   kernelProfile,
+		SeqNsPerStep:    seqNs,
+		ParNsPerStep:    parNs,
+		ParSpeedup:      float64(seqNs) / float64(parNs),
+		ColdNsPerStep:   coldNs,
+		WarmNsPerStep:   warmNs,
+		WarmSpeedup:     float64(coldNs) / float64(warmNs),
+		Cache:           st,
+		CacheHitRate:    st.HitRate(),
+		MapsIdentical:   identical,
 	}
 
 	tw := newTab(p.Out)
 	fmt.Fprintf(tw, "records\tcandidates\tcores\tworkers\n")
 	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\n\n", rep.Records, rep.Candidates, rep.Cores, rep.Workers)
 	fmt.Fprintf(tw, "variant\tns/step\tspeedup\n")
-	fmt.Fprintf(tw, "sequential (reference)\t%d\t1.00x\n", rep.SeqNsPerStep)
-	fmt.Fprintf(tw, "sharded parallel\t%d\t%.2fx\n", rep.ParNsPerStep, rep.ParSpeedup)
+	fmt.Fprintf(tw, "map-based scan (reference)\t%d\t1.00x\n", rep.RefNsPerStep)
+	fmt.Fprintf(tw, "fused kernel scan\t%d\t%.2fx\n", rep.KernelNsPerStep, rep.KernelSpeedup)
+	fmt.Fprintf(tw, "sharded parallel (kernel)\t%d\t%.2fx\n", rep.ParNsPerStep, float64(rep.RefNsPerStep)/float64(rep.ParNsPerStep))
 	fmt.Fprintf(tw, "cache cold (miss)\t%d\t\n", rep.ColdNsPerStep)
 	fmt.Fprintf(tw, "cache warm (hit)\t%d\t%.2fx\n", rep.WarmNsPerStep, rep.WarmSpeedup)
 	tw.Flush()
@@ -161,7 +226,6 @@ func BenchEngine(p Params) error {
 		return fmt.Errorf("benchengine: optimized variants diverged from the sequential reference")
 	}
 
-	out := p.benchOut()
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math/rand"
+	"sort"
 	"strings"
 )
 
@@ -69,7 +70,16 @@ var fillerSentences = []string{
 func ReviewText(rng *rand.Rand, scores map[string]int) string {
 	var parts []string
 	parts = append(parts, fillerSentences[rng.Intn(len(fillerSentences))])
-	for dim, sc := range scores {
+	// Iterate dimensions in sorted order: ranging the map directly would
+	// consume RNG draws in map order, making the "seeded" text differ
+	// from run to run (a real flake in the sentiment monotonicity test).
+	dims := make([]string, 0, len(scores))
+	for d := range scores {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	for _, dim := range dims {
+		sc := scores[dim]
 		templates, ok := reviewTemplates[dim]
 		if !ok {
 			continue

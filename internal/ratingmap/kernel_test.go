@@ -1,0 +1,310 @@
+package ratingmap
+
+// Tests for the fused columnar scan kernel (kernel.go). The exactness
+// contract — kernel accumulator state bit-identical to the map-based
+// reference path on every input — is enforced three ways: fixture-driven
+// unit tests here, the engine differential harness (7500+ randomized
+// cases plus kernel-adversarial families), and FuzzScanKernel below,
+// which fuzzes the dataset shape itself (dictionary sizes, attribute
+// kinds, missing values, scales) alongside record positions and scores.
+
+import (
+	"fmt"
+	"testing"
+
+	"subdex/internal/dataset"
+	"subdex/internal/query"
+)
+
+// kernelPair builds one kernel-enabled and one reference accumulator over
+// the same database and candidate set.
+func kernelPair(db *dataset.DB, keys []Key) (kern, ref *Accumulator) {
+	kb := &Builder{DB: db}
+	rb := &Builder{DB: db, DisableKernel: true}
+	return kb.NewAccumulator(query.Description{}, keys), rb.NewAccumulator(query.Description{}, keys)
+}
+
+// assertAccEqual compares complete accumulator state: digests of every
+// candidate snapshot, per-candidate record totals, and the shared-scan
+// visit counter.
+func assertAccEqual(t *testing.T, kern, ref *Accumulator, keys []Key, label string) {
+	t.Helper()
+	if g, w := accDigest(kern, keys), accDigest(ref, keys); g != w {
+		t.Fatalf("%s: kernel digest diverges from reference\n got: %s\nwant: %s", label, g, w)
+	}
+	for _, k := range keys {
+		if kern.NumRecords(k) != ref.NumRecords(k) {
+			t.Fatalf("%s: NumRecords(%v) %d vs %d", label, k, kern.NumRecords(k), ref.NumRecords(k))
+		}
+	}
+	if kern.RecordVisits() != ref.RecordVisits() {
+		t.Fatalf("%s: RecordVisits %d vs %d", label, kern.RecordVisits(), ref.RecordVisits())
+	}
+}
+
+// TestKernelSelection pins the dispatch rule: kernel on frozen databases,
+// reference when disabled or unfrozen.
+func TestKernelSelection(t *testing.T) {
+	db, keys := fuzzFixture(nil)
+	if acc := (&Builder{DB: db}).NewAccumulator(query.Description{}, keys); !acc.kernel {
+		t.Fatal("frozen DB: kernel must be selected")
+	}
+	if acc := (&Builder{DB: db, DisableKernel: true}).NewAccumulator(query.Description{}, keys); acc.kernel {
+		t.Fatal("DisableKernel: kernel must not be selected")
+	}
+}
+
+// TestKernelMatchesReferenceOnFixture scans the shared fixture whole, as a
+// strict subset, with repeated positions, and empty — kernel and reference
+// must agree bit for bit after every batch.
+func TestKernelMatchesReferenceOnFixture(t *testing.T) {
+	db, keys := fuzzFixture(nil)
+	n := db.Ratings.Len()
+	full := make([]int32, n)
+	for i := range full {
+		full[i] = int32(i)
+	}
+	cases := map[string][]int32{
+		"full":     full,
+		"empty":    {},
+		"single":   {int32(n / 2)},
+		"subset":   full[: n/3 : n/3],
+		"repeats":  {0, 0, 5, 5, 5, int32(n - 1), int32(n - 1), 3},
+		"reversed": {int32(n - 1), 7, 3, 1, 0},
+	}
+	for name, records := range cases {
+		kern, ref := kernelPair(db, keys)
+		kern.Update(records)
+		ref.Update(records)
+		assertAccEqual(t, kern, ref, keys, name)
+	}
+}
+
+// TestKernelMultiBatchAndRemove drives the phased-engine shape: several
+// Update batches with a candidate Remove in between. The kernel must stay
+// exact across batches (its scratch must fold and re-zero every call) and
+// must stop accumulating removed candidates exactly like the reference.
+func TestKernelMultiBatchAndRemove(t *testing.T) {
+	db, keys := fuzzFixture(nil)
+	n := db.Ratings.Len()
+	kern, ref := kernelPair(db, keys)
+	batch := func(lo, hi int) []int32 {
+		out := make([]int32, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, int32(i))
+		}
+		return out
+	}
+	kern.Update(batch(0, n/3))
+	ref.Update(batch(0, n/3))
+	kern.Remove(keys[0])
+	ref.Remove(keys[0])
+	kern.Update(batch(n/3, 2*n/3))
+	ref.Update(batch(n/3, 2*n/3))
+	kern.Update(batch(2*n/3, n))
+	ref.Update(batch(2*n/3, n))
+	assertAccEqual(t, kern, ref, keys[1:], "after remove + 3 batches")
+	if kern.Snapshot(keys[0]) != nil {
+		t.Fatal("removed candidate still has a snapshot")
+	}
+}
+
+// TestKernelScratchDrained pins the scratch invariant Merge and Snapshot
+// rely on: after Update returns, every dense block is all-zero and every
+// touched bitset is empty.
+func TestKernelScratchDrained(t *testing.T) {
+	db, keys := fuzzFixture(nil)
+	acc := (&Builder{DB: db}).NewAccumulator(query.Description{}, keys)
+	records := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	acc.Update(records)
+	for _, ps := range acc.byAttr {
+		for _, p := range ps {
+			for i, c := range p.ks.dense {
+				if c != 0 {
+					t.Fatalf("candidate %v: dense[%d]=%d after Update", p.key, i, c)
+				}
+			}
+			if p.ks.touched != nil && p.ks.touched.Count() != 0 {
+				t.Fatalf("candidate %v: touched bitset not drained", p.key)
+			}
+		}
+	}
+}
+
+// TestKernelUnfrozenFallsBack: an unfrozen database has no columnar
+// projections; the accumulator must silently use the reference path and
+// still match a frozen kernel scan of the same data.
+func TestKernelUnfrozenFallsBack(t *testing.T) {
+	build := func(freeze bool) *dataset.DB {
+		rs := dataset.MustSchema(dataset.Attribute{Name: "g", Kind: dataset.Atomic})
+		is := dataset.MustSchema(dataset.Attribute{Name: "tag", Kind: dataset.MultiValued})
+		reviewers := dataset.NewEntityTable("reviewers", rs)
+		items := dataset.NewEntityTable("items", is)
+		for i := 0; i < 4; i++ {
+			reviewers.AppendRow("u", map[string]string{"g": fmt.Sprintf("g%d", i%3)}, nil)
+			items.AppendRow("i", nil, map[string][]string{"tag": {"a", fmt.Sprintf("t%d", i)}})
+		}
+		rt, err := dataset.NewRatingTable(dataset.Dimension{Name: "overall", Scale: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 12; r++ {
+			rt.Append(r%4, (r*3)%4, []dataset.Score{dataset.Score(r % 5)})
+		}
+		db := dataset.NewDB("k", reviewers, items, rt)
+		if freeze {
+			if err := db.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	keys := []Key{
+		{Side: query.ReviewerSide, Attr: "g", Dim: 0},
+		{Side: query.ItemSide, Attr: "tag", Dim: 0},
+	}
+	records := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+
+	unfrozen := (&Builder{DB: build(false)}).NewAccumulator(query.Description{}, keys)
+	if unfrozen.kernel {
+		t.Fatal("unfrozen DB must not select the kernel")
+	}
+	unfrozen.Update(records)
+
+	frozen := (&Builder{DB: build(true)}).NewAccumulator(query.Description{}, keys)
+	if !frozen.kernel {
+		t.Fatal("frozen DB must select the kernel")
+	}
+	frozen.Update(records)
+
+	if g, w := accDigest(frozen, keys), accDigest(unfrozen, keys); g != w {
+		t.Fatalf("frozen kernel scan diverges from unfrozen reference scan\n got: %s\nwant: %s", g, w)
+	}
+}
+
+// fuzzShapeDB builds a database whose shape — table sizes, dictionary
+// sizes (including ids well past the reference path's initial counter
+// capacity), missing values, empty value sets, scales — is driven by the
+// fuzzer's shape bytes. Deterministic in its input.
+func fuzzShapeDB(t *testing.T, shape []byte) (*dataset.DB, []Key) {
+	t.Helper()
+	at := func(i int) byte {
+		if len(shape) == 0 {
+			return 0
+		}
+		return shape[i%len(shape)]
+	}
+	nRev := 1 + int(at(0))%6
+	nItem := 1 + int(at(1))%5
+	scaleA := 2 + int(at(2))%8
+	scaleB := 2 + int(at(3))%4
+	nRec := 1 + int(at(4))%64
+
+	rs := dataset.MustSchema(
+		dataset.Attribute{Name: "g", Kind: dataset.Atomic},
+		dataset.Attribute{Name: "tags", Kind: dataset.MultiValued},
+	)
+	is := dataset.MustSchema(
+		dataset.Attribute{Name: "city", Kind: dataset.Atomic},
+		dataset.Attribute{Name: "cuisine", Kind: dataset.MultiValued},
+	)
+	reviewers := dataset.NewEntityTable("reviewers", rs)
+	items := dataset.NewEntityTable("items", is)
+	cur := 5
+	next := func() int { v := int(at(cur)); cur++; return v }
+	for u := 0; u < nRev; u++ {
+		g := ""
+		if v := next() % 5; v > 0 {
+			g = fmt.Sprintf("g%d", v)
+		}
+		var tags []string
+		for k := next() % 4; k > 0; k-- {
+			tags = append(tags, fmt.Sprintf("t%d", next()%7))
+		}
+		if _, err := reviewers.AppendRow(fmt.Sprintf("u%d", u),
+			map[string]string{"g": g}, map[string][]string{"tags": tags}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nItem; i++ {
+		city := ""
+		// A wide dictionary: high value ids reach records even when only a
+		// few rows exist, exercising the reference growth path vs the
+		// kernel's dict-sized dense block.
+		if v := next() % 40; v > 0 {
+			city = fmt.Sprintf("c%d", v)
+		}
+		var cs []string
+		for k := next() % 5; k > 0; k-- {
+			cs = append(cs, fmt.Sprintf("k%d", next()%25))
+		}
+		if _, err := items.AppendRow(fmt.Sprintf("i%d", i),
+			map[string]string{"city": city}, map[string][]string{"cuisine": cs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, err := dataset.NewRatingTable(
+		dataset.Dimension{Name: "a", Scale: scaleA},
+		dataset.Dimension{Name: "b", Scale: scaleB},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < nRec; r++ {
+		if err := rt.Append(next()%nRev, next()%nItem, []dataset.Score{
+			dataset.Score(next() % (scaleA + 1)), // 0 = missing
+			dataset.Score(next() % (scaleB + 1)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := dataset.NewDB("fuzzshape", reviewers, items, rt)
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	var keys []Key
+	for dim := 0; dim < 2; dim++ {
+		keys = append(keys,
+			Key{Side: query.ReviewerSide, Attr: "g", Dim: dim},
+			Key{Side: query.ReviewerSide, Attr: "tags", Dim: dim},
+			Key{Side: query.ItemSide, Attr: "city", Dim: dim},
+			Key{Side: query.ItemSide, Attr: "cuisine", Dim: dim},
+		)
+	}
+	return db, keys
+}
+
+// FuzzScanKernel fuzzes the dataset shape (dictionary sizes, missing
+// values, scales) and the record selection (positions with repeats,
+// scores) together, asserting the kernel's accumulator state is
+// bit-identical to the map-based reference path — one-shot and split into
+// two batches — and never panics.
+func FuzzScanKernel(f *testing.F) {
+	f.Add([]byte{3, 2, 4, 2, 20, 1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 1, 1, 1, 1, 0}, []byte{0, 0, 0, 0})
+	f.Add([]byte{5, 4, 7, 3, 63, 39, 17, 250, 128, 9, 33, 200, 5, 81}, []byte{63, 63, 0, 1, 17, 42, 250})
+	f.Add([]byte{2, 3, 2, 2, 8, 255, 254, 253, 0, 0, 0, 7}, []byte{7, 6, 5, 4, 3, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, shape []byte, recs []byte) {
+		db, keys := fuzzShapeDB(t, shape)
+		n := db.Ratings.Len()
+		records := make([]int32, len(recs))
+		for i, b := range recs {
+			records[i] = int32(int(b) % n)
+		}
+
+		kern, ref := kernelPair(db, keys)
+		kern.Update(records)
+		ref.Update(records)
+		assertAccEqual(t, kern, ref, keys, "one-shot")
+
+		// The same records split into two kernel batches must land in the
+		// same state: the scratch fold must be complete after every call.
+		split := (&Builder{DB: db}).NewAccumulator(query.Description{}, keys)
+		mid := len(records) / 2
+		split.Update(records[:mid])
+		split.Update(records[mid:])
+		assertAccEqual(t, split, ref, keys, "two-batch")
+	})
+}

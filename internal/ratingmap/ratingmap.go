@@ -179,6 +179,13 @@ func (rm *RatingMap) Render(dict Dict) string {
 // groups by the same attribute, across all rating dimensions.
 type Builder struct {
 	DB *dataset.DB
+	// DisableKernel forces the map-based reference accumulation path even
+	// when the fused columnar scan kernel (kernel.go) is available. The
+	// reference path is the exactness oracle: the differential harness and
+	// FuzzScanKernel assert that both paths produce bit-identical digests
+	// on every input, and benchengine's reference arm uses it to measure
+	// the kernel's speedup.
+	DisableKernel bool
 }
 
 // partial accumulates one candidate map across phases. counts is indexed
@@ -191,6 +198,11 @@ type partial struct {
 	counts   [][]int // ValueID -> histogram (nil until seen)
 	nValues  int     // number of non-nil entries
 	nRecords int
+	// ks is the fused scan kernel's per-Update scratch (dense counter
+	// block + touched-value bitset, see kernel.go). Always folded back
+	// into counts and zeroed before Update returns, so Merge, Snapshot
+	// and the estimators never observe it.
+	ks kernelScratch
 }
 
 // Accumulator holds the in-progress subgroup histograms of a set of
@@ -203,6 +215,10 @@ type Accumulator struct {
 	byAttr map[string][]*partial
 	order  []Key
 	desc   query.Description
+	// kernel selects the fused columnar scan path (kernel.go) for Update.
+	// Set at construction: on iff the database is frozen (so the flat
+	// column projections exist) and the builder did not disable it.
+	kernel bool
 
 	// recordVisits counts per-record attribute lookups — the cost the
 	// "Combining Multiple Aggregates" sharing optimization bounds: one
@@ -214,7 +230,12 @@ type Accumulator struct {
 // NewAccumulator prepares shared accumulation for the given candidate keys
 // over the rating group described by desc.
 func (b *Builder) NewAccumulator(desc query.Description, keys []Key) *Accumulator {
-	acc := &Accumulator{db: b.DB, byAttr: make(map[string][]*partial), desc: desc}
+	acc := &Accumulator{
+		db:     b.DB,
+		byAttr: make(map[string][]*partial),
+		desc:   desc,
+		kernel: !b.DisableKernel && b.DB != nil && b.DB.Frozen(),
+	}
 	for _, k := range keys {
 		p := &partial{
 			key:   k,
@@ -232,41 +253,64 @@ func attrKey(side query.Side, attr string) string {
 }
 
 // Update feeds a batch of rating-record positions into every candidate map.
+// It dispatches to the fused columnar scan kernel (kernel.go) when the
+// database is frozen, falling back to the map-based reference path
+// otherwise (or when the builder disabled the kernel). Exactness is the
+// contract between the two paths: identical Digest output on every input,
+// enforced by the engine differential harness and FuzzScanKernel.
 func (a *Accumulator) Update(records []int32) {
+	if a.kernel {
+		a.updateKernel(records)
+		return
+	}
+	a.updateReference(records)
+}
+
+// updateReference is the row-oriented reference scan: per record, an
+// attribute-keyed lookup, a kind switch, and nested map-shaped partial
+// updates. Deliberately simple — it is the oracle the kernel is proven
+// bit-identical against.
+func (a *Accumulator) updateReference(records []int32) {
 	//subdex:orderinsensitive each iteration mutates only its own attribute's partials; records are scanned in slice order within each, so attribute order cannot leak into any histogram or discovery order
 	for ak, ps := range a.byAttr {
-		side, attr := splitAttrKey(ak)
-		var t *dataset.EntityTable
-		var rowOf []int32
-		if side == query.ReviewerSide {
-			t = a.db.Reviewers
-			rowOf = a.db.Ratings.Reviewer
-		} else {
-			t = a.db.Items
-			rowOf = a.db.Ratings.Item
-		}
-		ai := t.Schema.Index(attr)
+		t, rowOf, ai := a.resolveAttr(ak)
 		if ai < 0 {
 			continue
 		}
-		kind := t.Schema.At(ai).Kind
 		a.recordVisits += len(records)
-		for _, r := range records {
-			row := int(rowOf[r])
-			switch kind {
-			case dataset.Atomic:
-				v := t.AtomicValue(ai, row)
-				if v == dataset.MissingValue {
-					continue
-				}
+		a.refScanAttr(t, rowOf, ai, records, ps)
+	}
+}
+
+// resolveAttr maps an attribute key to its entity table, the per-record
+// entity-row column, and the attribute's schema index (-1 if absent).
+func (a *Accumulator) resolveAttr(ak string) (*dataset.EntityTable, []int32, int) {
+	side, attr := splitAttrKey(ak)
+	if side == query.ReviewerSide {
+		return a.db.Reviewers, a.db.Ratings.Reviewer, a.db.Reviewers.Schema.Index(attr)
+	}
+	return a.db.Items, a.db.Ratings.Item, a.db.Items.Schema.Index(attr)
+}
+
+// refScanAttr folds one attribute's shared scan over records into its
+// partials via the row-oriented accessors.
+func (a *Accumulator) refScanAttr(t *dataset.EntityTable, rowOf []int32, ai int, records []int32, ps []*partial) {
+	kind := t.Schema.At(ai).Kind
+	for _, r := range records {
+		row := int(rowOf[r])
+		switch kind {
+		case dataset.Atomic:
+			v := t.AtomicValue(ai, row)
+			if v == dataset.MissingValue {
+				continue
+			}
+			for _, p := range ps {
+				p.add(v, a.db.Ratings.Scores[p.key.Dim][r])
+			}
+		case dataset.MultiValued:
+			for _, v := range t.MultiValues(ai, row) {
 				for _, p := range ps {
 					p.add(v, a.db.Ratings.Scores[p.key.Dim][r])
-				}
-			case dataset.MultiValued:
-				for _, v := range t.MultiValues(ai, row) {
-					for _, p := range ps {
-						p.add(v, a.db.Ratings.Scores[p.key.Dim][r])
-					}
 				}
 			}
 		}
@@ -286,6 +330,15 @@ func (p *partial) add(v dataset.ValueID, s dataset.Score) {
 	if s == 0 {
 		return // missing score
 	}
+	p.histogram(v)[s-1]++
+	p.nRecords++
+}
+
+// histogram returns the subgroup histogram of value v, growing the counts
+// index and registering the value on first touch. Shared by the reference
+// per-record add and the kernel's block fold so both paths create entries
+// with identical bookkeeping.
+func (p *partial) histogram(v dataset.ValueID) []int {
 	if int(v) >= len(p.counts) {
 		grown := make([][]int, int(v)+8)
 		copy(grown, p.counts)
@@ -297,8 +350,7 @@ func (p *partial) add(v dataset.ValueID, s dataset.Score) {
 		p.counts[v] = c
 		p.nValues++
 	}
-	c[s-1]++
-	p.nRecords++
+	return c
 }
 
 // Keys returns the candidate keys in registration order.
