@@ -1,6 +1,10 @@
 // Command subdexvet is SubDEx's project-invariant checker: a
-// multichecker over the four analyzers that encode the disciplines
-// hand-review kept re-catching in PRs 1–3 (see internal/analysis/...).
+// multichecker over the seven analyzers that encode the disciplines
+// hand-review kept re-catching in PRs 1–8 (see internal/analysis/...).
+// The PR 9 additions (lockorder, walcheck, goleak) are inter-procedural:
+// they compose per-function summaries across packages through the vetx
+// fact files, so running under `go vet -vettool` gives the same global
+// verdicts as the standalone driver.
 //
 // Run it standalone over the module:
 //
@@ -18,8 +22,11 @@ import (
 	"subdex/internal/analysis/ctxflow"
 	"subdex/internal/analysis/detorder"
 	"subdex/internal/analysis/framework"
+	"subdex/internal/analysis/goleak"
 	"subdex/internal/analysis/lockblock"
+	"subdex/internal/analysis/lockorder"
 	"subdex/internal/analysis/obsmetrics"
+	"subdex/internal/analysis/walcheck"
 )
 
 func main() {
@@ -28,5 +35,8 @@ func main() {
 		ctxflow.Analyzer,
 		detorder.Analyzer,
 		lockblock.Analyzer,
+		lockorder.Analyzer,
+		walcheck.Analyzer,
+		goleak.Analyzer,
 	})
 }

@@ -1,0 +1,575 @@
+// Inter-procedural building blocks: the facts-based dataflow layer the
+// PR 9 analyzers (lockorder, walcheck, goleak) compose cross-package
+// checks from.
+//
+// The model mirrors `go vet`'s fact propagation. Each analyzer computes,
+// per package, a summary for every declared function (which lock classes
+// it may acquire, whether it propagates a Store error, whether it
+// observes a cancellation signal) that is already *closed* over
+// everything the package can see: its own call graph (by local
+// fixpoint, so intra-package recursion and mutual calls converge) and
+// the summaries imported from dependency facts. A dependent package
+// then needs exactly one hop — look the callee's key up in the fact —
+// never a whole-program graph. The known blind spot, shared with vet
+// itself, is a cycle spread across sibling packages with no import
+// relation between them; the lockorder fact therefore also carries the
+// raw acquisition *edges* so any importer of both sides still sees the
+// composed graph.
+//
+// Identity is textual because facts are JSON that crosses process
+// boundaries (the vetx files): functions are keyed
+// "pkgpath.Name" / "pkgpath.(Type).Name", and lock/channel/counter
+// objects are keyed by *class* — "pkgpath.(Type).field" for a struct
+// field, "pkgpath.name" for a package-level var — deliberately merging
+// all instances of a type (every sessionEntry.mu is one class: lock
+// *order* is a property of classes, not instances). Locals that never
+// leave a function render as "" and are each analyzer's choice to
+// track by expression key or ignore.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ---------------------------------------------------------------------------
+// Function identity
+// ---------------------------------------------------------------------------
+
+// FuncKeyOf renders fn as a stable cross-package key:
+// "pkgpath.Name" for package functions, "pkgpath.(Type).Name" for
+// methods (pointer receivers and value receivers share a key; interface
+// methods use the interface's name). Returns "" for builtins.
+func FuncKeyOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, okP := t.(*types.Pointer); okP {
+			t = ptr.Elem()
+		}
+		if named, okN := t.(*types.Named); okN {
+			return CanonicalPath(fn.Pkg().Path()) + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+		// Receiver is an unnamed type (embedded interface literal):
+		// fall through to the package-function rendering, which is
+		// still stable if imprecise.
+	}
+	return CanonicalPath(fn.Pkg().Path()) + "." + fn.Name()
+}
+
+// CalleeKey resolves call's static callee to its FuncKey, or "" for
+// calls through function values, builtins, and conversions. Calls on
+// interface values key to the *interface* method
+// ("pkg.(Iface).Method") — the interface's defining package exports a
+// merged summary under that key (see InterfaceMethodImpls).
+func CalleeKey(info *types.Info, call *ast.CallExpr) string {
+	return FuncKeyOf(CalleeFunc(info, call))
+}
+
+// FuncBody is one scannable function body in a package: either a
+// declaration (Key non-empty, Decl set) or a function literal (Key "",
+// Lit set). Literals are enumerated as independent bodies, however
+// deeply nested, because flow scans never descend into them: a closure
+// generally runs outside its lexical context (deferred, spawned,
+// stored).
+type FuncBody struct {
+	Key  string
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+	File *ast.File
+}
+
+// FuncBodies enumerates every function body in the pass's non-test
+// files: each FuncDecl with a body, then each FuncLit (in source
+// order, including literals nested inside other literals), each exactly
+// once.
+func FuncBodies(pass *Pass) []FuncBody {
+	var out []FuncBody
+	for _, file := range pass.Files {
+		if IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					key := ""
+					if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+						key = FuncKeyOf(obj)
+					}
+					out = append(out, FuncBody{Key: key, Decl: fn, Body: fn.Body, File: file})
+				}
+			case *ast.FuncLit:
+				out = append(out, FuncBody{Lit: fn, Body: fn.Body, File: file})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Object classes
+// ---------------------------------------------------------------------------
+
+// ObjClass renders the object behind expr (the receiver of a Lock call,
+// the operand of close(), the target of Counter registration) as a
+// cross-package class:
+//
+//	fs.swapMu      → "subdex/internal/sessionstore.(FileStore).swapMu"
+//	fs.st.mu       → "subdex/internal/sessionstore.(memState).mu"
+//	pkgLevelMu     → "pkg.pkgLevelMu"
+//	localVar       → ""
+//
+// Field classes name the *selection's* receiver type, so a field
+// promoted from an embedded struct is keyed by the outer type — stable
+// for a given source idiom, which is all comparison needs. All
+// instances of a type share one class by design.
+func ObjClass(info *types.Info, expr ast.Expr) string {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() == v.Pkg().Scope() { // package-level var
+			return CanonicalPath(v.Pkg().Path()) + "." + v.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[x]
+		if !ok {
+			// Qualified identifier pkg.Var.
+			if obj, okO := info.Uses[x.Sel].(*types.Var); okO && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return CanonicalPath(obj.Pkg().Path()) + "." + obj.Name()
+			}
+			return ""
+		}
+		v, ok := sel.Obj().(*types.Var)
+		if !ok || !v.IsField() || v.Pkg() == nil {
+			return ""
+		}
+		t := sel.Recv()
+		if ptr, okP := t.(*types.Pointer); okP {
+			t = ptr.Elem()
+		}
+		named, okN := t.(*types.Named)
+		if !okN {
+			return ""
+		}
+		return CanonicalPath(named.Obj().Pkg().Path()) + ".(" + named.Obj().Name() + ")." + v.Name()
+	}
+	return ""
+}
+
+// FieldClassInLiteral renders the class of a field being initialized in
+// a composite literal: for the key ident of `&Server{walFailures: …}`
+// it returns "pkg.(Server).walFailures". lit is the enclosing
+// CompositeLit, key the field name ident.
+func FieldClassInLiteral(info *types.Info, lit *ast.CompositeLit, key *ast.Ident) string {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if ptr, okP := t.(*types.Pointer); okP {
+		t = ptr.Elem()
+	}
+	named, okN := t.(*types.Named)
+	if !okN || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return CanonicalPath(named.Obj().Pkg().Path()) + ".(" + named.Obj().Name() + ")." + key.Name
+}
+
+// ---------------------------------------------------------------------------
+// Lock/call flow scan
+// ---------------------------------------------------------------------------
+
+// FlowKind discriminates FlowEvents.
+type FlowKind int
+
+const (
+	// FlowAcquire is a blocking Lock/RLock on a class-renderable mutex.
+	FlowAcquire FlowKind = iota
+	// FlowTryAcquire is TryLock/TryRLock: it joins the held set (a lock
+	// held is held, however acquired) but can never *block*, so it must
+	// not become the target of a deadlock edge.
+	FlowTryAcquire
+	// FlowCall is a statically resolvable call (Callee/Key set).
+	FlowCall
+)
+
+// A FlowEvent is one acquisition or call observed by ScanFlow, with the
+// set of lock classes held when control reaches it.
+type FlowEvent struct {
+	Kind   FlowKind
+	Class  string      // lock class, for acquires
+	Callee *types.Func // for FlowCall
+	Key    string      // FuncKeyOf(Callee), for FlowCall
+	Call   *ast.CallExpr
+	Held   []string // sorted lock classes held before this event
+	Pos    token.Pos
+}
+
+// ScanFlow walks body in statement order, tracking which mutex classes
+// are held, and emits an event for every blocking/try acquisition of a
+// class-renderable mutex and every statically resolvable call. The
+// control-flow approximations are lockblock's, shared deliberately so
+// the two analyzers agree on what "held" means: branch bodies inherit
+// (a clone of) the state at entry; an unlock inside a branch does not
+// clear the fall-through state; `defer x.Unlock()` means held to
+// function end; deferred and spawned calls and nested function literals
+// are not descended into (literals are scanned as their own FuncBody).
+// Locks that render to no class (locals) are invisible here — local
+// lock discipline is lockblock's intraprocedural job.
+func ScanFlow(info *types.Info, body *ast.BlockStmt, emit func(FlowEvent)) {
+	fs := &flowScanner{info: info, emit: emit}
+	fs.block(body, map[string]int{})
+}
+
+type flowScanner struct {
+	info *types.Info
+	emit func(FlowEvent)
+}
+
+func heldList(held map[string]int) []string {
+	out := make([]string, 0, len(held))
+	for c, n := range held {
+		if n > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cloneHeld(held map[string]int) map[string]int {
+	out := make(map[string]int, len(held))
+	for c, n := range held {
+		out[c] = n
+	}
+	return out
+}
+
+func (fs *flowScanner) block(body *ast.BlockStmt, held map[string]int) {
+	for _, stmt := range body.List {
+		fs.stmt(stmt, held)
+	}
+}
+
+func (fs *flowScanner) stmt(stmt ast.Stmt, held map[string]int) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		fs.expr(s.X, held)
+	case *ast.SendStmt:
+		fs.expr(s.Chan, held)
+		fs.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			fs.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		fs.expr(s.X, held)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// defer x.Unlock() = held to end (no state change); other
+		// deferred calls and spawned goroutines run outside this flow.
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init, held)
+		}
+		fs.expr(s.Cond, held)
+		fs.block(s.Body, cloneHeld(held))
+		if s.Else != nil {
+			fs.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		fs.block(s, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			fs.expr(s.Cond, held)
+		}
+		fs.block(s.Body, cloneHeld(held))
+	case *ast.RangeStmt:
+		fs.expr(s.X, held)
+		fs.block(s.Body, cloneHeld(held))
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				inner := cloneHeld(held)
+				if cc.Comm != nil {
+					fs.stmt(cc.Comm, inner)
+				}
+				for _, cs := range cc.Body {
+					fs.stmt(cs, inner)
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			fs.expr(s.Tag, held)
+		}
+		fs.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		fs.caseBodies(s.Body, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			fs.expr(e, held)
+		}
+	case *ast.LabeledStmt:
+		fs.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						fs.expr(e, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (fs *flowScanner) caseBodies(body *ast.BlockStmt, held map[string]int) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			inner := cloneHeld(held)
+			for _, cs := range cc.Body {
+				fs.stmt(cs, inner)
+			}
+		}
+	}
+}
+
+// expr inspects e in traversal order, applying mutex calls to held and
+// emitting events. Nested function literals are opaque.
+func (fs *flowScanner) expr(e ast.Expr, held map[string]int) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, okS := ast.Unparen(call.Fun).(*ast.SelectorExpr); okS {
+			if method, isMutex := MutexMethod(fs.info, sel); isMutex {
+				class := ObjClass(fs.info, sel.X)
+				switch method {
+				case "Lock", "RLock":
+					if class != "" {
+						fs.emit(FlowEvent{Kind: FlowAcquire, Class: class, Call: call,
+							Held: heldList(held), Pos: call.Pos()})
+						held[class]++
+					}
+				case "TryLock", "TryRLock":
+					if class != "" {
+						fs.emit(FlowEvent{Kind: FlowTryAcquire, Class: class, Call: call,
+							Held: heldList(held), Pos: call.Pos()})
+						held[class]++
+					}
+				case "Unlock", "RUnlock":
+					if class != "" && held[class] > 0 {
+						held[class]--
+					}
+				}
+				return true
+			}
+		}
+		if fn := CalleeFunc(fs.info, call); fn != nil {
+			fs.emit(FlowEvent{Kind: FlowCall, Callee: fn, Key: FuncKeyOf(fn), Call: call,
+				Held: heldList(held), Pos: call.Pos()})
+		}
+		return true
+	})
+}
+
+// ExprKey renders an expression as a stable source-path key: "s.mu",
+// "wg", "shards[...]". Package-local only (two functions' local "wg"
+// collide) — use ObjClass for cross-package identity and ExprKey when
+// a local object must be matched within one package.
+func ExprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return ExprKey(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return ExprKey(x.X) + "[...]"
+	default:
+		return "<expr>"
+	}
+}
+
+// MutexMethod reports whether sel selects a method on sync.Mutex /
+// sync.RWMutex (directly or via embedding) and returns the method name.
+func MutexMethod(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if ptr, okP := t.(*types.Pointer); okP {
+		t = ptr.Elem()
+	}
+	named, okN := t.(*types.Named)
+	if !okN {
+		return "", false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// ---------------------------------------------------------------------------
+// Interface dispatch and summary closure
+// ---------------------------------------------------------------------------
+
+// InterfaceMethodImpls maps, for every interface type defined at
+// package scope in pkg, each interface-method key
+// ("pkg.(Iface).Method") to the keys of the same-signature methods on
+// the concrete package-scope types that implement the interface.
+// Analyzers use it to export a merged summary under the interface
+// method's key, which is what CalleeKey yields at dynamic call sites —
+// so a caller of sessionstore.Store.Get composes with the union of
+// MemStore.Get and FileStore.Get without ever seeing the concrete
+// types. Implementations in *other* packages are invisible (vet's
+// one-hop fact model); SubDEx keeps Store implementations beside the
+// interface for exactly this reason.
+func InterfaceMethodImpls(pkg *types.Package) map[string][]string {
+	scope := pkg.Scope()
+	var ifaces, concretes []*types.TypeName
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if types.IsInterface(tn.Type()) {
+			ifaces = append(ifaces, tn)
+		} else {
+			concretes = append(concretes, tn)
+		}
+	}
+	out := make(map[string][]string)
+	for _, itn := range ifaces {
+		iface, ok := itn.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, ctn := range concretes {
+			impl := ctn.Type()
+			ptr := types.NewPointer(impl)
+			if !types.Implements(impl, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				m := iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, pkg, m.Name())
+				implFn, okF := obj.(*types.Func)
+				if !okF {
+					continue
+				}
+				ikey := CanonicalPath(pkg.Path()) + ".(" + itn.Name() + ")." + m.Name()
+				out[ikey] = append(out[ikey], FuncKeyOf(implFn))
+			}
+		}
+	}
+	for k := range out {
+		sort.Strings(out[k])
+	}
+	return out
+}
+
+// Closure computes, for every function key in seeds ∪ calls, the
+// transitive union of seed values reachable through the call relation:
+// result[f] = seeds[f] ∪ ⋃ result[g] for g ∈ calls[f]. Callees outside
+// the local domain resolve through external (typically a lookup into
+// imported facts, already closed; nil means "unknown, contributes
+// nothing"). Local cycles converge by fixpoint iteration; the result's
+// value slices are sorted and deduplicated.
+func Closure(seeds map[string][]string, calls map[string][]string, external func(key string) []string) map[string][]string {
+	result := make(map[string]map[string]bool)
+	local := func(key string) bool {
+		_, inSeeds := seeds[key]
+		_, inCalls := calls[key]
+		return inSeeds || inCalls
+	}
+	for key, vals := range seeds {
+		set := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			set[v] = true
+		}
+		result[key] = set
+	}
+	for key := range calls {
+		if result[key] == nil {
+			result[key] = make(map[string]bool)
+		}
+	}
+	// External contributions are stable; fold them in once.
+	if external != nil {
+		for key, callees := range calls {
+			for _, g := range callees {
+				if local(g) {
+					continue
+				}
+				for _, v := range external(g) {
+					result[key][v] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, callees := range calls {
+			dst := result[key]
+			for _, g := range callees {
+				if !local(g) {
+					continue
+				}
+				for v := range result[g] {
+					if !dst[v] {
+						dst[v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make(map[string][]string, len(result))
+	for key, set := range result {
+		vals := make([]string, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		out[key] = vals
+	}
+	return out
+}

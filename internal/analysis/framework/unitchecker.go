@@ -46,40 +46,70 @@ type vetConfig struct {
 //
 // It never returns.
 func Main(analyzers []*Analyzer) {
-	args := os.Args[1:]
+	mode, cfgFile, patterns := parseMainArgs(os.Args[1:])
+	switch mode {
+	case modeVersion:
+		fmt.Println(versionLine())
+		os.Exit(0)
+	case modeFlags:
+		printFlagsJSON(analyzers)
+		os.Exit(0)
+	case modeHelp:
+		printHelp(analyzers)
+		os.Exit(0)
+	case modeUnitchecker:
+		os.Exit(runUnitchecker(cfgFile, analyzers))
+	}
+	os.Exit(runStandalone(patterns, analyzers))
+}
 
-	var patterns []string
-	cfgFile := ""
+// mainMode is which of subdexvet's personalities one invocation's
+// arguments select.
+type mainMode int
+
+const (
+	modeStandalone  mainMode = iota // subdexvet [packages]
+	modeUnitchecker                 // go vet passes a generated *.cfg
+	modeVersion                     // -V=full: cmd/go's cache-key handshake
+	modeFlags                       // -flags: cmd/go's flag interrogation
+	modeHelp
+)
+
+// parseMainArgs classifies an argument vector without executing
+// anything, so the dispatch table is testable. A handshake flag wins
+// over everything else (cmd/go sends it alone, but first-match keeps
+// the contract obvious); otherwise a *.cfg argument selects the
+// unitchecker personality. Other dash-flags are tolerated and dropped:
+// cmd/go may forward analyzer enable/disable flags (e.g.
+// -unreachable=false under `go test`), and this suite has no
+// per-analyzer toggles — invariants are not optional.
+func parseMainArgs(args []string) (mode mainMode, cfgFile string, patterns []string) {
+	mode = modeStandalone
 	for _, arg := range args {
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
-			fmt.Printf("subdexvet version devel buildID=%s\n", selfID())
-			os.Exit(0)
+			return modeVersion, "", nil
 		case arg == "-flags" || arg == "--flags":
-			// cmd/go interrogates the tool for its flag set so it can
-			// validate and forward `go vet -<analyzer>` style flags. This
-			// suite exposes per-analyzer enable flags (all default-on, as
-			// invariants should be).
-			printFlagsJSON(analyzers)
-			os.Exit(0)
+			return modeFlags, "", nil
 		case arg == "help" || arg == "-help" || arg == "--help" || arg == "-h":
-			printHelp(analyzers)
-			os.Exit(0)
+			return modeHelp, "", nil
 		case strings.HasSuffix(arg, ".cfg"):
 			cfgFile = arg
+			mode = modeUnitchecker
 		case strings.HasPrefix(arg, "-"):
-			// Tolerate analyzer enable/disable flags cmd/go may forward
-			// (e.g. -unreachable=false under `go test`); this suite has no
-			// per-analyzer toggles — invariants are not optional.
 		default:
 			patterns = append(patterns, arg)
 		}
 	}
+	return mode, cfgFile, patterns
+}
 
-	if cfgFile != "" {
-		os.Exit(runUnitchecker(cfgFile, analyzers))
-	}
-	os.Exit(runStandalone(patterns, analyzers))
+// versionLine is the -V=full response. cmd/go hashes the whole line
+// into the vet action's build-cache key, so it must be deterministic
+// for a given binary and change whenever the binary does — hence the
+// self-hash, not a hardcoded version.
+func versionLine() string {
+	return fmt.Sprintf("subdexvet version devel buildID=%s", selfID())
 }
 
 // selfID hashes the running binary so cmd/go's build cache invalidates
@@ -98,6 +128,10 @@ func selfID() string {
 // printFlagsJSON emits the flag-definition array cmd/go's `go vet
 // -vettool` handshake expects on `tool -flags`.
 func printFlagsJSON(analyzers []*Analyzer) {
+	fmt.Println(string(flagsJSON(analyzers)))
+}
+
+func flagsJSON(analyzers []*Analyzer) []byte {
 	type flagDef struct {
 		Name  string `json:"Name"`
 		Bool  bool   `json:"Bool"`
@@ -111,7 +145,7 @@ func printFlagsJSON(analyzers []*Analyzer) {
 	if err != nil {
 		out = []byte("[]")
 	}
-	fmt.Println(string(out))
+	return out
 }
 
 func printHelp(analyzers []*Analyzer) {

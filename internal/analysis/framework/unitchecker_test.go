@@ -1,0 +1,309 @@
+package framework
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestParseMainArgs pins the personality dispatch: which of subdexvet's
+// modes each argument vector selects, and what survives as cfg/patterns.
+func TestParseMainArgs(t *testing.T) {
+	tests := []struct {
+		name     string
+		args     []string
+		mode     mainMode
+		cfgFile  string
+		patterns []string
+	}{
+		{name: "no args is standalone", args: nil, mode: modeStandalone},
+		{name: "patterns are standalone",
+			args: []string{"./...", "./cmd/subdexvet"},
+			mode: modeStandalone, patterns: []string{"./...", "./cmd/subdexvet"}},
+		{name: "cfg selects unitchecker",
+			args: []string{"/tmp/work/b012/vet.cfg"},
+			mode: modeUnitchecker, cfgFile: "/tmp/work/b012/vet.cfg"},
+		{name: "V=full wins even after a cfg",
+			args: []string{"/tmp/work/b012/vet.cfg", "-V=full"},
+			mode: modeVersion},
+		{name: "double-dash V=full",
+			args: []string{"--V=full"},
+			mode: modeVersion},
+		{name: "flags handshake",
+			args: []string{"-flags"},
+			mode: modeFlags},
+		{name: "help",
+			args: []string{"help"},
+			mode: modeHelp},
+		{name: "forwarded analyzer toggles are tolerated and dropped",
+			args: []string{"-unreachable=false", "./..."},
+			mode: modeStandalone, patterns: []string{"./..."}},
+		{name: "toggle plus cfg stays unitchecker",
+			args: []string{"-lockorder=true", "vet.cfg"},
+			mode: modeUnitchecker, cfgFile: "vet.cfg"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			mode, cfgFile, patterns := parseMainArgs(tt.args)
+			if mode != tt.mode || cfgFile != tt.cfgFile || !reflect.DeepEqual(patterns, tt.patterns) {
+				t.Errorf("parseMainArgs(%q) = (%v, %q, %q), want (%v, %q, %q)",
+					tt.args, mode, cfgFile, patterns, tt.mode, tt.cfgFile, tt.patterns)
+			}
+		})
+	}
+}
+
+// TestVersionLine pins the -V=full handshake contract: one line of the
+// form cmd/go accepts ("name version ..."), carrying a hex self-hash,
+// and deterministic across calls — the whole line feeds the vet
+// action's build-cache key, so any instability would defeat caching.
+func TestVersionLine(t *testing.T) {
+	line := versionLine()
+	re := regexp.MustCompile(`^subdexvet version \S+ buildID=[0-9a-f]{16}$`)
+	if !re.MatchString(line) {
+		t.Errorf("versionLine() = %q, want match for %v", line, re)
+	}
+	if again := versionLine(); again != line {
+		t.Errorf("versionLine not deterministic: %q then %q", line, again)
+	}
+}
+
+// TestFlagsJSON pins the -flags handshake: a JSON array with one
+// boolean flag definition per analyzer, in registration order.
+func TestFlagsJSON(t *testing.T) {
+	analyzers := []*Analyzer{{Name: "lockorder"}, {Name: "walcheck"}}
+	var defs []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal(flagsJSON(analyzers), &defs); err != nil {
+		t.Fatalf("flagsJSON is not valid JSON: %v", err)
+	}
+	if len(defs) != 2 || defs[0].Name != "lockorder" || defs[1].Name != "walcheck" {
+		t.Fatalf("flag defs = %+v, want lockorder then walcheck", defs)
+	}
+	for _, d := range defs {
+		if !d.Bool {
+			t.Errorf("flag %s not boolean: cmd/go forwards -%s=false style toggles", d.Name, d.Name)
+		}
+	}
+}
+
+// TestReadVetConfig pins vet.cfg parsing against the shapes cmd/go
+// actually writes: all consumed fields decode, unknown fields are
+// ignored (toolchains add fields), and malformed input is an error,
+// not a silent empty config.
+func TestReadVetConfig(t *testing.T) {
+	tests := []struct {
+		name    string
+		json    string
+		wantErr bool
+		check   func(t *testing.T, cfg *vetConfig)
+	}{
+		{
+			name: "full config",
+			json: `{
+				"ID": "subdex/internal/server",
+				"Compiler": "gc",
+				"Dir": "/src/subdex/internal/server",
+				"ImportPath": "subdex/internal/server",
+				"GoFiles": ["/src/subdex/internal/server/server.go"],
+				"ImportMap": {"subdex/internal/core": "subdex/internal/core"},
+				"PackageFile": {"subdex/internal/core": "/cache/aa/core.a"},
+				"PackageVetx": {"subdex/internal/core": "/cache/bb/core.vetx"},
+				"VetxOnly": false,
+				"VetxOutput": "/cache/cc/server.vetx",
+				"GoVersion": "go1.24",
+				"SucceedOnTypecheckFailure": false
+			}`,
+			check: func(t *testing.T, cfg *vetConfig) {
+				if cfg.ImportPath != "subdex/internal/server" {
+					t.Errorf("ImportPath = %q", cfg.ImportPath)
+				}
+				if len(cfg.GoFiles) != 1 || !strings.HasSuffix(cfg.GoFiles[0], "server.go") {
+					t.Errorf("GoFiles = %q", cfg.GoFiles)
+				}
+				if cfg.PackageVetx["subdex/internal/core"] != "/cache/bb/core.vetx" {
+					t.Errorf("PackageVetx = %q", cfg.PackageVetx)
+				}
+				if cfg.VetxOutput != "/cache/cc/server.vetx" {
+					t.Errorf("VetxOutput = %q", cfg.VetxOutput)
+				}
+			},
+		},
+		{
+			name: "unknown fields ignored",
+			json: `{"ImportPath": "p", "FutureToolchainField": {"nested": [1, 2]}}`,
+			check: func(t *testing.T, cfg *vetConfig) {
+				if cfg.ImportPath != "p" {
+					t.Errorf("ImportPath = %q", cfg.ImportPath)
+				}
+			},
+		},
+		{
+			name: "succeed-on-typecheck-failure flag",
+			json: `{"ImportPath": "p", "SucceedOnTypecheckFailure": true}`,
+			check: func(t *testing.T, cfg *vetConfig) {
+				if !cfg.SucceedOnTypecheckFailure {
+					t.Error("SucceedOnTypecheckFailure not decoded")
+				}
+			},
+		},
+		{name: "malformed JSON", json: `{"ImportPath": `, wantErr: true},
+		{name: "not an object", json: `[1,2,3]`, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "vet.cfg")
+			if err := os.WriteFile(path, []byte(tt.json), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := readVetConfig(path)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("readVetConfig error = %v, wantErr %t", err, tt.wantErr)
+			}
+			if err == nil && tt.check != nil {
+				tt.check(t, cfg)
+			}
+		})
+	}
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := readVetConfig(filepath.Join(t.TempDir(), "absent.cfg")); err == nil {
+			t.Error("readVetConfig on a missing file succeeded")
+		}
+	})
+}
+
+// TestVetxFactRoundTrip pins the fact plumbing that makes the
+// inter-procedural analyzers work under `go vet -vettool`: facts a
+// package exports through writeVetx come back intact through
+// importVetxFacts in a dependent's invocation, multiple dependencies
+// merge, and damaged vetx files degrade to "no facts", never an error.
+func TestVetxFactRoundTrip(t *testing.T) {
+	raw := func(s string) json.RawMessage { return json.RawMessage(s) }
+	storeA := FactStore{
+		"lockorder": {"subdex/internal/sessionstore": raw(`{"Edges":[{"From":"a","To":"b"}]}`)},
+		"walcheck":  {"subdex/internal/sessionstore": raw(`{"Mutations":["x.Create"]}`)},
+	}
+	storeB := FactStore{
+		"lockorder": {"subdex/internal/server": raw(`{"Ranks":{"m":10}}`)},
+	}
+
+	write := func(t *testing.T, dir, name string, data []byte) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	mustJSON := func(t *testing.T, v any) []byte {
+		t.Helper()
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	tests := []struct {
+		name string
+		vetx func(t *testing.T, dir string) map[string]string // PackageVetx
+		want FactStore
+	}{
+		{
+			name: "single dependency round-trips",
+			vetx: func(t *testing.T, dir string) map[string]string {
+				return map[string]string{"dep": write(t, dir, "a.vetx", mustJSON(t, storeA))}
+			},
+			want: storeA,
+		},
+		{
+			name: "two dependencies merge",
+			vetx: func(t *testing.T, dir string) map[string]string {
+				return map[string]string{
+					"depA": write(t, dir, "a.vetx", mustJSON(t, storeA)),
+					"depB": write(t, dir, "b.vetx", mustJSON(t, storeB)),
+				}
+			},
+			want: FactStore{
+				"lockorder": {
+					"subdex/internal/sessionstore": storeA["lockorder"]["subdex/internal/sessionstore"],
+					"subdex/internal/server":       storeB["lockorder"]["subdex/internal/server"],
+				},
+				"walcheck": storeA["walcheck"],
+			},
+		},
+		{
+			name: "malformed vetx skipped, good one kept",
+			vetx: func(t *testing.T, dir string) map[string]string {
+				return map[string]string{
+					"bad":  write(t, dir, "bad.vetx", []byte("not json")),
+					"good": write(t, dir, "a.vetx", mustJSON(t, storeA)),
+				}
+			},
+			want: storeA,
+		},
+		{
+			name: "empty and missing vetx skipped",
+			vetx: func(t *testing.T, dir string) map[string]string {
+				return map[string]string{
+					"empty":   write(t, dir, "empty.vetx", nil),
+					"missing": filepath.Join(dir, "never-written.vetx"),
+				}
+			},
+			want: FactStore{},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dir := t.TempDir()
+			got := importVetxFacts(&vetConfig{PackageVetx: tt.vetx(t, dir)})
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("importVetxFacts = %v, want %v", got, tt.want)
+			}
+		})
+	}
+
+	t.Run("writeVetx then import is identity", func(t *testing.T) {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "self.vetx")
+		writeVetx(&vetConfig{VetxOutput: out}, storeA)
+		got := importVetxFacts(&vetConfig{PackageVetx: map[string]string{"self": out}})
+		// Compare semantically: RawMessage bytes may be re-marshalled.
+		if len(got) != len(storeA) {
+			t.Fatalf("round-trip lost analyzers: %v vs %v", got, storeA)
+		}
+		for name, byPkg := range storeA {
+			for pkg, want := range byPkg {
+				var wv, gv any
+				if err := json.Unmarshal(want, &wv); err != nil {
+					t.Fatal(err)
+				}
+				if err := json.Unmarshal(got[name][pkg], &gv); err != nil {
+					t.Fatalf("%s/%s did not survive: %v", name, pkg, err)
+				}
+				if !reflect.DeepEqual(wv, gv) {
+					t.Errorf("%s/%s = %v, want %v", name, pkg, gv, wv)
+				}
+			}
+		}
+	})
+
+	t.Run("no VetxOutput writes nothing", func(t *testing.T) {
+		dir := t.TempDir()
+		writeVetx(&vetConfig{VetxOutput: ""}, storeA)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Errorf("writeVetx with no output path created %v", entries)
+		}
+	})
+}

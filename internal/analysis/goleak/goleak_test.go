@@ -1,0 +1,15 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"subdex/internal/analysis/analysistest"
+	"subdex/internal/analysis/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	// Order matters: internal/server proves a literal cancellable
+	// through pipeline's exported summary.
+	analysistest.Run(t, "testdata", goleak.Analyzer,
+		"pipeline", "internal/engine", "internal/server", "seeded/internal/workload", "tools")
+}

@@ -1,0 +1,59 @@
+// Scoped fixture: the shard-scan join pattern (accepted), the naked
+// worker loop (flagged), and the suppression contract.
+package engine
+
+import "sync"
+
+func work(n int) int { return n * 2 }
+
+// accumulate is the shipped PR 3 shard pattern: local WaitGroup, Done
+// in the literal, Wait in the spawner.
+func accumulate(records []int) int {
+	var wg sync.WaitGroup
+	out := make([]int, len(records))
+	for i, r := range records {
+		wg.Add(1)
+		go func(i, r int) {
+			defer wg.Done()
+			out[i] = work(r)
+		}(i, r)
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// leakyWorkers is the PR 2 incident class: nothing joins these, nothing
+// can stop them.
+func leakyWorkers(records []int) {
+	for _, r := range records {
+		go func(r int) { // want `goroutine has no join and no cancellation`
+			for {
+				work(r)
+			}
+		}(r)
+	}
+}
+
+// acceptedForever is process-lifetime by declaration.
+func acceptedForever() {
+	//subdex:goleak metrics flusher is process-lifetime by design; it dies with the process, see DESIGN.md
+	go func() {
+		for {
+			work(1)
+		}
+	}()
+}
+
+// suppressedBadly declares nothing.
+func suppressedBadly() {
+	//subdex:goleak
+	go func() { // want `suppression without a reason`
+		for {
+			work(1)
+		}
+	}()
+}

@@ -1,0 +1,56 @@
+// Scoped fixture: the janitor/Close stop-channel pattern (accepted, a
+// named method resolved through its local summary), ctx-cancellability
+// proven through another package's fact (pipeline.RunUntil), and an
+// unresolvable spawned function value (flagged).
+package server
+
+import (
+	"context"
+	"time"
+
+	"pipeline"
+)
+
+type Server struct {
+	stop chan struct{}
+}
+
+// Start spawns the janitor: goleak resolves the method's summary and
+// finds its stop channel among this package's closes.
+func (s *Server) Start() {
+	go s.janitor()
+}
+
+func (s *Server) janitor() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// Close closes the stop channel, which is what legitimizes Start.
+func (s *Server) Close() {
+	close(s.stop)
+}
+
+// serveUsers proves cancellability through the pipeline package's
+// fact: the literal calls RunUntil, whose exported summary observes
+// ctx.
+func (s *Server) serveUsers(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			pipeline.RunUntil(ctx, func() bool { return true })
+		}()
+	}
+}
+
+// spawnValue launches a bare function value: nothing to resolve,
+// nothing declared.
+func (s *Server) spawnValue(fn func()) {
+	go fn() // want `goroutine target is not statically resolvable`
+}

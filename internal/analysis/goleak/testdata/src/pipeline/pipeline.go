@@ -1,0 +1,21 @@
+// Cross-package fact source: RunUntil observes its context, so a
+// scoped package may spawn it (directly or from inside a literal) and
+// goleak proves cancellability through this package's exported
+// summary, never seeing the body again.
+package pipeline
+
+import "context"
+
+// RunUntil pumps work until the context is done.
+func RunUntil(ctx context.Context, work func() bool) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if !work() {
+			return
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Seeded-bug fixture reproducing the pre-PR 2 shape the anytime
+// discipline replaced: the load runner spawned one goroutine per
+// simulated user with no join and no deadline observation, so a run
+// that hit its SLO window returned while its users kept hammering the
+// server — load from a "finished" run polluting the next measurement.
+// goleak must flag the spawn; the PR 2 fix (context plumbed into every
+// user loop, WaitGroup join before results are read) is the accepted
+// shape next to it.
+package workload
+
+import (
+	"context"
+	"sync"
+)
+
+func step(user int) bool { return user >= 0 }
+
+// runPre2 is the incident: unjoined, uncancellable users.
+func runPre2(users int) {
+	for u := 0; u < users; u++ {
+		go func(u int) { // want `goroutine has no join and no cancellation`
+			for step(u) {
+			}
+		}(u)
+	}
+}
+
+// runFixed is the shipped shape: ctx observed in the loop, join before
+// returning.
+func runFixed(ctx context.Context, users int) {
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for step(u) {
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+}

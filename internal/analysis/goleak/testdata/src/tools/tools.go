@@ -1,0 +1,11 @@
+// Out-of-scope fixture: the same leak shape as the scoped packages,
+// silent here — goleak's contract covers the packages that own
+// long-lived serving work, not one-shot tooling.
+package tools
+
+func spin() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -35,6 +35,17 @@
 // in the list — appending to the WAL under its writer mutex is that
 // package's whole job (it moves the Sync itself outside the lock, a
 // discipline pinned by its own tests, not by this analyzer).
+//
+// That exemption is a split of jurisdiction, not a blind spot: what
+// lockblock waives for sessionstore (file I/O under wmu), the walcheck
+// analyzer covers from the other side — every error those exempted
+// writes can return must be checked or propagated, and every caller on
+// the log-before-respond path must count the failure before answering.
+// The ordering of the locks the WAL write path takes is lockorder's
+// jurisdiction. The internal/sessionstore fixture in testdata pins the
+// lockblock half (exempt writes unflagged, universal rules still
+// enforced); walcheck's own internal/sessionstore fixture pins the
+// other half against the same idiom.
 package lockblock
 
 import (
@@ -55,7 +66,9 @@ var Analyzer = &framework.Analyzer{
 
 // fileIOCriticalPkgs are the package-path suffixes where file I/O under
 // a held mutex is also a finding. internal/sessionstore is exempt by
-// design: see the package comment.
+// design — its WAL writes under wmu on purpose, and walcheck owns the
+// error-path discipline of exactly those writes: see the package
+// comment's jurisdiction note.
 var fileIOCriticalPkgs = []string{"internal/server", "internal/obs", "internal/core"}
 
 // fileIOCritical reports whether the package being analyzed is under the

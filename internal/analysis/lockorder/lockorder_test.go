@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"subdex/internal/analysis/analysistest"
+	"subdex/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	// Order matters: internal/server composes with internal/sessionstore's
+	// fact (ranks + interface may-acquire summaries), and cyc/high closes
+	// a cycle against an edge only present in cyc/low's fact.
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		"internal/sessionstore", "internal/server", "cyc/low", "cyc/high", "seeded")
+}

@@ -1,0 +1,13 @@
+// Upper half of the cross-package cycle fixture: the reverse
+// acquisition closes a cycle against the MuA → MuB edge imported from
+// cyc/low's fact — neither package sees the deadlock alone.
+package high
+
+import "cyc/low"
+
+func Invert() {
+	low.MuB.Lock()
+	low.MuA.Lock() // want `lock-order cycle: acquiring cyc/low\.MuA while holding cyc/low\.MuB closes the cycle cyc/low\.MuB -> cyc/low\.MuA -> cyc/low\.MuB`
+	low.MuA.Unlock()
+	low.MuB.Unlock()
+}

@@ -1,0 +1,18 @@
+// Lower half of the cross-package cycle fixture: exports the edge
+// MuA → MuB in its fact. No findings here — the cycle only exists once
+// cyc/high adds the reverse edge.
+package low
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+func LockBoth() {
+	MuA.Lock()
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}

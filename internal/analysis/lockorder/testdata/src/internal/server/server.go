@@ -1,0 +1,64 @@
+// Cross-package fixture: server-side mutexes composed with the
+// sessionstore fact. lookup is the accepted shape (map mutex below the
+// store's mirror mutex); badAudit acquires a store lock while holding a
+// higher-ranked mutex, caught purely through the imported fact; evict
+// exercises the TryLock exemption; withReason and withoutReason pin the
+// suppression contract.
+package server
+
+import (
+	"sync"
+
+	"internal/sessionstore"
+)
+
+type Server struct {
+	mu sync.Mutex //subdex:lockorder rank=30 session-map mutex: held across store reads, below every store-internal mutex
+
+	audit sync.Mutex //subdex:lockorder rank=50 leaf mutex: nothing may be acquired under it
+
+	store sessionstore.Store
+}
+
+type entry struct {
+	mu sync.Mutex
+}
+
+type loose struct {
+	//subdex:lockorder
+	mu sync.Mutex // want `must be rank=N followed by a reason`
+}
+
+func (s *Server) lookup(id int) (int, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Get(id) // rank 30 -> rank 40 through the Store fact: accepted
+}
+
+func (s *Server) badAudit(id int) (int, bool, error) {
+	s.audit.Lock()
+	defer s.audit.Unlock()
+	return s.store.Get(id) // want `acquires internal/sessionstore\.\(memState\)\.mu \(rank 40\) while holding internal/server\.\(Server\)\.audit \(rank 50\)`
+}
+
+func (s *Server) evict(e *entry) {
+	s.mu.Lock()
+	if e.mu.TryLock() { // try-acquire cannot block: no edge, accepted
+		e.mu.Unlock()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) withReason(id int) {
+	s.audit.Lock()
+	//subdex:lockorder audit here is a read-only probe taken nowhere inside the store; exemption documented in DESIGN.md
+	s.store.Get(id)
+	s.audit.Unlock()
+}
+
+func (s *Server) withoutReason(id int) {
+	s.audit.Lock()
+	//subdex:lockorder
+	s.store.Get(id) // want `suppression without a reason`
+	s.audit.Unlock()
+}

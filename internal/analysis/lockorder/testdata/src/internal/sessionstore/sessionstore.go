@@ -1,0 +1,48 @@
+// Accepted fixture modeling the real sessionstore: a correctly ordered
+// writer/swap/mirror lock stack with declared ranks, plus the Store
+// interface whose merged may-acquire summary later fixtures consume
+// through facts. No findings expected in this package.
+package sessionstore
+
+import "sync"
+
+type memState struct {
+	mu       sync.Mutex //subdex:lockorder rank=40 innermost: guards only the in-memory session map
+	sessions map[int]int
+}
+
+// Store is the dynamic-dispatch surface: callers in internal/server
+// hold their own mutexes across these calls, so the analyzer must see
+// through the interface to the implementations' lock classes.
+type Store interface {
+	Get(id int) (int, bool, error)
+}
+
+type FileStore struct {
+	st *memState
+
+	wmu sync.Mutex //subdex:lockorder rank=10 outermost: serializes mirror+file mutation and compaction
+
+	swapMu sync.RWMutex //subdex:lockorder rank=20 taken shared across an appender's fsync, exclusive around the compaction file swap
+}
+
+// Append is the shipped write-path ordering: wmu, mirror, then swapMu
+// shared before wmu is released. Every edge here increases in rank.
+func (fs *FileStore) Append() error {
+	fs.wmu.Lock()
+	fs.st.mu.Lock()
+	fs.st.sessions[0]++
+	fs.st.mu.Unlock()
+	fs.swapMu.RLock()
+	fs.wmu.Unlock()
+	fs.swapMu.RUnlock()
+	return nil
+}
+
+// Get implements Store.
+func (fs *FileStore) Get(id int) (int, bool, error) {
+	fs.st.mu.Lock()
+	defer fs.st.mu.Unlock()
+	v, ok := fs.st.sessions[id]
+	return v, ok, nil
+}

@@ -1,0 +1,36 @@
+// Seeded-bug fixture reproducing PR 7's race 3: compaction closed the
+// WAL file while an appender's fsync was in flight. The fix gave
+// FileStore a swap mutex with a strict order — writer mutex first,
+// swap mutex second (appenders take it shared before releasing the
+// writer mutex; compaction takes it exclusively). compactBroken is the
+// pre-fix shape re-expressed as lock acquisitions: it takes the swap
+// lock first and then blocks on the writer mutex, inverting the
+// hierarchy and closing a cycle against Append's correct ordering.
+// lockorder must catch both, proving it would have flagged the
+// incident before review did.
+package seeded
+
+import "sync"
+
+type FileStore struct {
+	wmu sync.Mutex //subdex:lockorder rank=10 writer mutex: serializes mirror+file mutation
+
+	swapMu sync.RWMutex //subdex:lockorder rank=20 pins the WAL file across an appender's fsync
+}
+
+// Append is the shipped ordering: wmu, then swapMu shared before wmu
+// is released, so no swap can slip between the write and the fsync.
+func (fs *FileStore) Append() {
+	fs.wmu.Lock()
+	fs.swapMu.RLock()
+	fs.wmu.Unlock()
+	fs.swapMu.RUnlock()
+}
+
+// compactBroken inverts the order.
+func (fs *FileStore) compactBroken() {
+	fs.swapMu.Lock()
+	fs.wmu.Lock() // want `acquires seeded\.\(FileStore\)\.wmu \(rank 10\) while holding seeded\.\(FileStore\)\.swapMu \(rank 20\)` `lock-order cycle: acquiring seeded\.\(FileStore\)\.wmu while holding seeded\.\(FileStore\)\.swapMu closes the cycle`
+	fs.wmu.Unlock()
+	fs.swapMu.Unlock()
+}

@@ -1,0 +1,133 @@
+// Fixture server: the log-before-respond path composed through the
+// sessionstore fact. Accepted shapes mirror the shipped PR 7 code
+// (check, rollback, count, then respond; the ErrStaleShed benign
+// sub-branch; propagation through a helper); flagged shapes cover the
+// discard, the unchecked error, the silent branch, and the
+// respond-before-count inversion.
+package server
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+
+	"internal/sessionstore"
+	"obs"
+)
+
+// Server owns the session map and the durable store.
+type Server struct {
+	mu          sync.Mutex
+	sessions    map[int]int
+	store       sessionstore.Store
+	walFailures *obs.Counter
+}
+
+// NewServer registers the failure counter walcheck keys on.
+func NewServer(store sessionstore.Store, reg *obs.Registry) *Server {
+	return &Server{
+		sessions:    map[int]int{},
+		store:       store,
+		walFailures: reg.Counter("subdex_wal_append_failures_total", "WAL appends that failed after the in-memory state applied"),
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	w.Write([]byte(msg))
+}
+
+// handleCreate is the shipped shape: rollback, count, then respond.
+func (s *Server) handleCreate(w http.ResponseWriter, id int) {
+	s.mu.Lock()
+	s.sessions[id] = 0
+	s.mu.Unlock()
+	if err := s.store.Create(id, 0); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		s.walFailures.Inc()
+		writeError(w, http.StatusInternalServerError, "wal append failed")
+		return
+	}
+	w.WriteHeader(200)
+}
+
+// evictIdle is the shipped shed shape: the ErrStaleShed sub-branch is
+// benign (the session restored concurrently), every other failure
+// counts before anything else happens.
+func (s *Server) evictIdle(ids []int) {
+	for _, id := range ids {
+		if err := s.store.Shed(id, 1); err != nil {
+			if errors.Is(err, sessionstore.ErrStaleShed) {
+				continue
+			}
+			s.walFailures.Inc()
+		}
+	}
+}
+
+// createSession propagates: the obligation moves to its callers.
+func (s *Server) createSession(id int) error {
+	return s.store.Create(id, 0)
+}
+
+// handleCreateViaHelper discharges the propagated obligation.
+func (s *Server) handleCreateViaHelper(w http.ResponseWriter, id int) {
+	if err := s.createSession(id); err != nil {
+		s.walFailures.Inc()
+		writeError(w, http.StatusInternalServerError, "wal append failed")
+	}
+}
+
+// handleGet is the accepted read shape.
+func (s *Server) handleGet(w http.ResponseWriter, id int) {
+	_, ok, err := s.store.Get(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "store read failed")
+		return
+	}
+	if !ok {
+		writeError(w, 404, "no such session")
+	}
+}
+
+// handleDeleteBug is the latent-bug shape this analyzer caught in the
+// real server: the read error is blanked, so a store fault answers 404
+// instead of 500 and the delete path skips its durable tombstone.
+func (s *Server) handleDeleteBug(w http.ResponseWriter, id int) {
+	_, ok, _ := s.store.Get(id) // want `discards the error from Get`
+	if !ok {
+		writeError(w, 404, "no such session")
+	}
+}
+
+// handleStepSilent checks but never counts the loss.
+func (s *Server) handleStepSilent(w http.ResponseWriter, id, seq int) {
+	if err := s.store.AppendOp(id, seq, 1); err != nil { // want `error branch for AppendOp never increments subdex_wal_append_failures_total`
+		writeError(w, http.StatusInternalServerError, "wal append failed")
+	}
+}
+
+// fireAndForget discards a mutation error outright.
+func (s *Server) fireAndForget(id int) {
+	s.store.Delete(id) // want `discards the error from Delete`
+}
+
+// shedUnchecked binds the error and then ignores it.
+func (s *Server) shedUnchecked(id int) {
+	err := s.store.Shed(id, 1) // want `error from Shed is neither checked nor propagated`
+	_ = err
+}
+
+// shedAnnotated documents why the error is intentionally dropped.
+func (s *Server) shedAnnotated(id int) {
+	//subdex:walcheck best-effort pre-shutdown shed: the WAL replay path re-derives this state, loss here is not observable
+	s.store.Shed(id, 1)
+}
+
+// shedAnnotatedBadly suppresses without saying why.
+func (s *Server) shedAnnotatedBadly(id int) {
+	//subdex:walcheck
+	s.store.Shed(id, 1) // want `suppression without a reason`
+}

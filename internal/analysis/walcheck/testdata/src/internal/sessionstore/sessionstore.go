@@ -1,0 +1,87 @@
+// Fixture sessionstore: defines the Store roots walcheck exports as
+// facts, and pins walcheck's half of the lockblock split. This package
+// is exempt from lockblock's file-I/O-under-mutex rule by design
+// (Append's write under wmu below is the package's whole job — see
+// lockblock's own internal/sessionstore fixture for that half), but it
+// is NOT exempt from walcheck: sweepExpired discarding a mutation
+// error is flagged here like anywhere else.
+package sessionstore
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrStaleShed is the benign race sentinel: the shed lost to a
+// concurrent restore.
+var ErrStaleShed = errors.New("sessionstore: stale shed")
+
+// Store is the durable session surface.
+type Store interface {
+	Create(id int, snap int) error
+	AppendOp(id, seq int, op int) error
+	Shed(id int, snap int) error
+	Delete(id int) error
+	Get(id int) (int, bool, error)
+	All() (map[int]int, int, error)
+}
+
+// FileStore is the WAL-backed implementation.
+type FileStore struct {
+	wmu      sync.Mutex
+	f        *os.File
+	sessions map[int]int
+}
+
+// Create implements Store.
+func (fs *FileStore) Create(id int, snap int) error { return fs.logAppend(id, snap) }
+
+// AppendOp implements Store.
+func (fs *FileStore) AppendOp(id, seq int, op int) error { return fs.logAppend(id, op) }
+
+// Shed implements Store.
+func (fs *FileStore) Shed(id int, snap int) error { return fs.logAppend(id, snap) }
+
+// Delete implements Store.
+func (fs *FileStore) Delete(id int) error { return fs.logAppend(id, -1) }
+
+// Get implements Store.
+func (fs *FileStore) Get(id int) (int, bool, error) {
+	v, ok := fs.sessions[id]
+	return v, ok, nil
+}
+
+// All implements Store.
+func (fs *FileStore) All() (map[int]int, int, error) { return fs.sessions, len(fs.sessions), nil }
+
+// logAppend writes under wmu: lockblock-exempt file I/O (this
+// package's whole job), invisible to walcheck, which cares about the
+// *error's* journey, not the lock's.
+func (fs *FileStore) logAppend(id, v int) error {
+	fs.wmu.Lock()
+	defer fs.wmu.Unlock()
+	fs.sessions[id] = v
+	_, err := fs.f.Write([]byte{byte(v)})
+	return err
+}
+
+// sweepExpired is walcheck's half of the split proof: in-package
+// callers of Store mutations are held to the error contract even
+// though lockblock exempts this package.
+func (fs *FileStore) sweepExpired(ids []int) {
+	for _, id := range ids {
+		fs.Delete(id) // want `discards the error from Delete`
+	}
+}
+
+// dropAll propagates correctly: the obligation moves to dropAll's
+// callers (and dropAll itself joins the mutation roots in the fact).
+func (fs *FileStore) dropAll(ids []int) error {
+	for _, id := range ids {
+		if err := fs.Delete(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

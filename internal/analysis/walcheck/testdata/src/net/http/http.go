@@ -1,0 +1,19 @@
+// Minimal stand-in for net/http: walcheck only needs the
+// ResponseWriter interface identity (framework.NamedTypeIn matches by
+// package-path suffix, and "net/http" under testdata/src shadows the
+// real package for fixture type-checking only).
+package http
+
+// Header is the simplified header map.
+type Header map[string][]string
+
+// ResponseWriter is the response surface walcheck treats as "the
+// client can observe this".
+type ResponseWriter interface {
+	Header() Header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// StatusInternalServerError mirrors the real constant.
+const StatusInternalServerError = 500

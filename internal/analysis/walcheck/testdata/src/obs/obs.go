@@ -1,0 +1,19 @@
+// Minimal stand-in for subdex/internal/obs: a registry handing out
+// counters, enough for walcheck to recognize the
+// subdex_wal_append_failures_total registration and its Inc sites.
+package obs
+
+// Counter is an additive metric.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Registry hands out metrics by name.
+type Registry struct{}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }

@@ -1,0 +1,46 @@
+// Seeded-bug fixture reproducing PR 7's race 1: the step handler
+// answered the client before (or without) accounting the WAL append
+// failure, so under load the responses and
+// subdex_wal_append_failures_total disagreed — a scrape taken between
+// the two observed a server claiming durability it did not have. Both
+// pre-fix shapes must be caught: respond-then-count, and the branch
+// that never counts at all.
+package seeded
+
+import (
+	"net/http"
+
+	"internal/sessionstore"
+	"obs"
+)
+
+type Server struct {
+	store       sessionstore.Store
+	walFailures *obs.Counter
+}
+
+func New(store sessionstore.Store, reg *obs.Registry) *Server {
+	return &Server{store: store,
+		walFailures: reg.Counter("subdex_wal_append_failures_total", "failed WAL appends")}
+}
+
+func writeError(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// handleStepRespondFirst is the incident verbatim: the 500 goes out,
+// then the counter moves.
+func (s *Server) handleStepRespondFirst(w http.ResponseWriter, id, seq int) {
+	if err := s.store.AppendOp(id, seq, 1); err != nil {
+		writeError(w, http.StatusInternalServerError) // want `responds to the client before incrementing subdex_wal_append_failures_total on a failed AppendOp`
+		s.walFailures.Inc()
+	}
+}
+
+// handleShedUncounted is the second pre-fix shape: the loss is
+// handled, logged nowhere, counted never.
+func (s *Server) handleShedUncounted(w http.ResponseWriter, id int) {
+	if err := s.store.Shed(id, 1); err != nil { // want `error branch for Shed never increments subdex_wal_append_failures_total`
+		writeError(w, http.StatusInternalServerError)
+	}
+}

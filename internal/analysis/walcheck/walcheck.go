@@ -1,0 +1,523 @@
+// Package walcheck enforces the durability contract on the
+// log-before-respond path — the analyzer born from PR 7's race 1,
+// where a WAL append failure could leave the server's answer and the
+// durable log disagreeing with nothing counting the loss.
+//
+// The contract, per mutation of the session log (Create / AppendOp /
+// Shed / Delete on sessionstore.Store and its implementations):
+//
+//  1. The returned error must be consumed: checked in a condition or
+//     propagated to the caller. Discarding it (blank identifier, bare
+//     expression statement, go/defer) is a finding.
+//  2. When handled locally, the error branch must increment the
+//     subdex_wal_append_failures_total counter — the metric PR 7's fix
+//     introduced so a lost append is never silent — and must do so
+//     *before* any byte of an HTTP response is written (a call writing
+//     to or receiving an http.ResponseWriter). Respond-then-count
+//     reorders the observable world ahead of the accounting, which is
+//     exactly the incident's shape.
+//  3. Store reads (Get / All) carry the weaker half of the contract:
+//     the error must be checked or propagated, never discarded —
+//     treating a failed read as "absent" turns an I/O fault into a
+//     wrong 404 (and, on the delete path, into silently skipped
+//     durable tombstones).
+//
+// The analysis is inter-procedural over framework facts: the
+// sessionstore package (matched by path suffix, so fixtures compose)
+// exports the mutation/read roots — including the Store interface's
+// method keys, which is what dynamic call sites resolve to — and any
+// function that *propagates* a root's error becomes a root itself, in
+// its own package's fact, so the obligation follows the error value
+// across package boundaries. The benign ErrStaleShed path needs no
+// special case: the shipped pattern (errors.Is sub-branch, then count)
+// still increments on the non-stale path, which is all rule 2 asks.
+//
+// Division of labor with lockblock: internal/sessionstore is exempt
+// from lockblock's file-I/O-under-mutex rule by design (appending to
+// the WAL under its writer mutex is the package's whole job), but it
+// is NOT exempt here — walcheck's roots live in that package and
+// in-package callers of Store mutations are held to the same error
+// contract as everyone else. The two analyzers' fixtures each pin
+// their half of that split.
+//
+// Escape hatch: `//subdex:walcheck <reason>` on the call line; an
+// empty reason is itself a finding.
+package walcheck
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"subdex/internal/analysis/framework"
+)
+
+// Analyzer is the walcheck check.
+var Analyzer = &framework.Analyzer{
+	Name:      "walcheck",
+	Doc:       "Store/WAL mutation errors on the log-before-respond path must be checked and counted in subdex_wal_append_failures_total before any HTTP response; store read errors must never be discarded",
+	Run:       run,
+	UsesFacts: true,
+}
+
+// WALFailureMetric is the counter the error branch must increment.
+const WALFailureMetric = "subdex_wal_append_failures_total"
+
+// storePkgSuffix identifies the package whose Store surface defines the
+// mutation/read roots.
+const storePkgSuffix = "internal/sessionstore"
+
+var mutationNames = map[string]bool{"Create": true, "AppendOp": true, "Shed": true, "Delete": true}
+var readNames = map[string]bool{"Get": true, "All": true}
+
+// pkgFact exports this package's contribution to the root sets: the
+// sessionstore package seeds them, every package adds its propagators.
+type pkgFact struct {
+	Mutations []string `json:"mutations,omitempty"`
+	Reads     []string `json:"reads,omitempty"`
+}
+
+func run(pass *framework.Pass) error {
+	mutations := make(map[string]bool)
+	reads := make(map[string]bool)
+	for _, pf := range pass.ImportedFacts() {
+		var fact pkgFact
+		if err := json.Unmarshal(pf.Fact, &fact); err != nil {
+			continue
+		}
+		for _, k := range fact.Mutations {
+			mutations[k] = true
+		}
+		for _, k := range fact.Reads {
+			reads[k] = true
+		}
+	}
+	if framework.PathHasSuffix(pass.Path(), storePkgSuffix) {
+		collectRoots(pass.Pkg, mutations, reads)
+	}
+
+	// Collect every resolvable call site with its consumption shape,
+	// then grow the root sets by propagation until stable: a function
+	// returning a root's error is a root for its callers.
+	bodies := framework.FuncBodies(pass)
+	sites := make([][]site, len(bodies))
+	for i, fb := range bodies {
+		sites[i] = collectSites(pass, fb)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, fb := range bodies {
+			if fb.Key == "" {
+				continue
+			}
+			for _, st := range sites[i] {
+				if !st.propagated {
+					continue
+				}
+				if mutations[st.key] && !mutations[fb.Key] {
+					mutations[fb.Key] = true
+					changed = true
+				}
+				if reads[st.key] && !reads[fb.Key] && !mutations[fb.Key] {
+					reads[fb.Key] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	counters := counterClasses(pass)
+
+	for i := range bodies {
+		for _, st := range sites[i] {
+			isMut, isRead := mutations[st.key], reads[st.key]
+			if !isMut && !isRead {
+				continue
+			}
+			file := framework.FileOf(pass.Files, st.call.Pos())
+			if reason, found := framework.Annotation(pass.Fset, file, st.call, "walcheck"); found {
+				if reason == "" {
+					pass.Report(st.call.Pos(), "//subdex:walcheck suppression without a reason")
+				}
+				continue
+			}
+			name := st.key[1+lastDot(st.key):]
+			switch {
+			case st.discarded && isMut:
+				pass.Reportf(st.call.Pos(), "discards the error from %s: every Store/WAL mutation must be checked on the log-before-respond path", name)
+			case st.discarded:
+				pass.Reportf(st.call.Pos(), "discards the error from %s: a failed store read must surface as an error, not as absence", name)
+			case st.propagated:
+				// The obligation moved to this function's callers.
+			case !st.checked && isMut:
+				pass.Reportf(st.call.Pos(), "error from %s is neither checked nor propagated", name)
+			case !st.checked:
+				pass.Reportf(st.call.Pos(), "error from %s is neither checked nor propagated", name)
+			case isMut:
+				checkErrorBranches(pass, st, counters, name)
+			}
+		}
+	}
+
+	// Export the full (imported ∪ local) sets so the obligation
+	// composes transitively under both drivers.
+	var fact pkgFact
+	for k := range mutations {
+		fact.Mutations = append(fact.Mutations, k)
+	}
+	for k := range reads {
+		fact.Reads = append(fact.Reads, k)
+	}
+	sort.Strings(fact.Mutations)
+	sort.Strings(fact.Reads)
+	return pass.ExportFact(fact)
+}
+
+// checkErrorBranches enforces rule 2 on a locally-handled mutation
+// error: some branch conditioned on the error must increment the WAL
+// failure counter, and no response write conditioned on the error may
+// precede the first increment.
+func checkErrorBranches(pass *framework.Pass, st site, counters map[string]bool, name string) {
+	var incs, responses []token.Pos
+	for _, branch := range st.branches {
+		ast.Inspect(branch, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isCounterInc(pass.TypesInfo, call, counters) {
+				incs = append(incs, call.Pos())
+			}
+			if isResponseWrite(pass.TypesInfo, call) {
+				responses = append(responses, call.Pos())
+			}
+			return true
+		})
+	}
+	if len(incs) == 0 {
+		pass.Reportf(st.call.Pos(), "error branch for %s never increments %s: a lost append must never be silent", name, WALFailureMetric)
+		return
+	}
+	minInc := incs[0]
+	for _, p := range incs[1:] {
+		if p < minInc {
+			minInc = p
+		}
+	}
+	for _, r := range responses {
+		if r < minInc {
+			pass.Reportf(r, "responds to the client before incrementing %s on a failed %s: count the loss, then answer", WALFailureMetric, name)
+			return
+		}
+	}
+}
+
+// collectRoots adds the Store mutation/read method keys defined in the
+// sessionstore package: interface methods (the keys dynamic call sites
+// resolve to) and methods on concrete implementations, provided they
+// return an error.
+func collectRoots(pkg *types.Package, mutations, reads map[string]bool) {
+	scope := pkg.Scope()
+	for _, tname := range scope.Names() {
+		tn, ok := scope.Lookup(tname).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		add := func(fn *types.Func) {
+			if !returnsError(fn) {
+				return
+			}
+			key := framework.FuncKeyOf(fn)
+			if mutationNames[fn.Name()] {
+				mutations[key] = true
+			} else if readNames[fn.Name()] {
+				reads[key] = true
+			}
+		}
+		if iface, okI := tn.Type().Underlying().(*types.Interface); okI {
+			for i := 0; i < iface.NumMethods(); i++ {
+				add(iface.Method(i))
+			}
+			continue
+		}
+		if named, okN := tn.Type().(*types.Named); okN {
+			for i := 0; i < named.NumMethods(); i++ {
+				add(named.Method(i))
+			}
+		}
+	}
+}
+
+// returnsError reports whether fn's last result is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// A site is one statically resolvable call in one function body, with
+// the shape of its error consumption.
+type site struct {
+	call       *ast.CallExpr
+	key        string
+	discarded  bool       // blank error slot, bare expression, go/defer
+	propagated bool       // the error value reaches a return statement
+	checked    bool       // the error value appears in an if condition
+	branches   []ast.Node // bodies conditioned on the error value
+}
+
+// collectSites walks fb.Body (never descending into nested function
+// literals, which are separate FuncBodies) classifying every
+// resolvable call whose callee returns an error.
+func collectSites(pass *framework.Pass, fb framework.FuncBody) []site {
+	info := pass.TypesInfo
+	var sites []site
+	var walk func(n ast.Node, stack []ast.Node)
+	walk = func(root ast.Node, base []ast.Node) {
+		stack := base
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if lit, ok := n.(*ast.FuncLit); ok && lit != root {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				fn := framework.CalleeFunc(info, call)
+				if fn != nil && returnsError(fn) {
+					sites = append(sites, classify(pass, fb, call, fn, stack))
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	walk(fb.Body, nil)
+	return sites
+}
+
+// classify determines how call's error result is consumed, given the
+// ancestor stack (innermost last).
+func classify(pass *framework.Pass, fb framework.FuncBody, call *ast.CallExpr, fn *types.Func, stack []ast.Node) site {
+	info := pass.TypesInfo
+	st := site{call: call, key: framework.FuncKeyOf(fn)}
+	// Innermost enclosing statement decides the shape.
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.ExprStmt:
+			st.discarded = ast.Unparen(parent.X) == call
+			return st
+		case *ast.GoStmt:
+			st.discarded = parent.Call == call
+			return st
+		case *ast.DeferStmt:
+			st.discarded = parent.Call == call
+			return st
+		case *ast.ReturnStmt:
+			st.propagated = true
+			return st
+		case *ast.AssignStmt:
+			if len(parent.Rhs) != 1 || ast.Unparen(parent.Rhs[0]) != call {
+				// Nested inside a larger RHS expression (wrapped in
+				// another call): the value was handed off; accept.
+				st.checked = true
+				return st
+			}
+			sig := fn.Type().(*types.Signature)
+			errIdx := sig.Results().Len() - 1
+			if errIdx >= len(parent.Lhs) {
+				st.checked = true
+				return st
+			}
+			ident, ok := ast.Unparen(parent.Lhs[errIdx]).(*ast.Ident)
+			if !ok {
+				st.checked = true // assigned through a selector/index: handed off
+				return st
+			}
+			if ident.Name == "_" {
+				st.discarded = true
+				return st
+			}
+			obj := info.Defs[ident]
+			if obj == nil {
+				obj = info.Uses[ident]
+			}
+			if obj == nil {
+				st.checked = true
+				return st
+			}
+			traceErrObj(info, fb.Body, obj, &st)
+			return st
+		case *ast.CallExpr:
+			if parent != call {
+				// Argument to another call: handed off; accept.
+				st.checked = true
+				return st
+			}
+		case ast.Stmt:
+			// Any other statement form (if-init is an AssignStmt and
+			// handled above; select comm etc.): be conservative and
+			// accept.
+			st.checked = true
+			return st
+		}
+	}
+	st.discarded = true
+	return st
+}
+
+// traceErrObj scans the function body for consumption of the error
+// variable: returns (propagation), if conditions (checks), and the
+// bodies those conditions guard.
+func traceErrObj(info *types.Info, body *ast.BlockStmt, obj types.Object, st *site) {
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A closure may check or return the variable, but that is
+			// another function's control flow; count only increments
+			// found through branches below.
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if mentions(res) {
+					st.propagated = true
+				}
+			}
+		case *ast.IfStmt:
+			if !mentions(s.Cond) {
+				return true
+			}
+			st.checked = true
+			// `if err == nil` guards the success path; its else (when
+			// present) is the error branch.
+			if bin, ok := s.Cond.(*ast.BinaryExpr); ok && bin.Op == token.EQL {
+				if s.Else != nil {
+					st.branches = append(st.branches, s.Else)
+				}
+				return true
+			}
+			st.branches = append(st.branches, s.Body)
+			if s.Else != nil {
+				st.branches = append(st.branches, s.Else)
+			}
+		}
+		return true
+	})
+}
+
+// counterClasses finds the object classes registered as the WAL
+// failure counter in this package: any call to a method/function named
+// Counter whose first argument is the metric name constant, assigned
+// to a field (composite literal or assignment) or variable.
+func counterClasses(pass *framework.Pass) map[string]bool {
+	out := make(map[string]bool)
+	info := pass.TypesInfo
+	framework.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := framework.CalleeFunc(info, call)
+		if fn == nil || fn.Name() != "Counter" || len(call.Args) == 0 {
+			return true
+		}
+		if name, okC := framework.ConstString(info, call.Args[0]); !okC || name != WALFailureMetric {
+			return true
+		}
+		// What receives the counter?
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch parent := stack[i].(type) {
+			case *ast.KeyValueExpr:
+				if i > 0 {
+					if lit, okL := stack[i-1].(*ast.CompositeLit); okL {
+						if key, okK := parent.Key.(*ast.Ident); okK {
+							if class := framework.FieldClassInLiteral(info, lit, key); class != "" {
+								out[class] = true
+							}
+						}
+					}
+				}
+				return true
+			case *ast.AssignStmt:
+				for j, rhs := range parent.Rhs {
+					if ast.Unparen(rhs) == call && j < len(parent.Lhs) {
+						if class := framework.ObjClass(info, parent.Lhs[j]); class != "" {
+							out[class] = true
+						}
+					}
+				}
+				return true
+			case *ast.ValueSpec:
+				for j, v := range parent.Values {
+					if ast.Unparen(v) == call && j < len(parent.Names) {
+						if class := framework.ObjClass(info, parent.Names[j]); class != "" {
+							out[class] = true
+						}
+					}
+				}
+				return true
+			case ast.Stmt:
+				return true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCounterInc reports whether call increments one of the registered
+// failure-counter classes (Inc or Add on the counter object).
+func isCounterInc(info *types.Info, call *ast.CallExpr, counters map[string]bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if name := sel.Sel.Name; name != "Inc" && name != "Add" {
+		return false
+	}
+	return counters[framework.ObjClass(info, sel.X)]
+}
+
+// isResponseWrite reports whether call observable-writes an HTTP
+// response: a method on an http.ResponseWriter value, or any call
+// receiving one as an argument (writeError-style helpers).
+func isResponseWrite(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := info.TypeOf(sel.X); t != nil && framework.NamedTypeIn(t, "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if t := info.TypeOf(arg); t != nil && framework.NamedTypeIn(t, "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

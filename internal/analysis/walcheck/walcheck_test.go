@@ -1,0 +1,15 @@
+package walcheck_test
+
+import (
+	"testing"
+
+	"subdex/internal/analysis/analysistest"
+	"subdex/internal/analysis/walcheck"
+)
+
+func TestWalCheck(t *testing.T) {
+	// Order matters: internal/server and seeded resolve their Store
+	// calls against the roots internal/sessionstore's fact exports.
+	analysistest.Run(t, "testdata", walcheck.Analyzer,
+		"internal/sessionstore", "internal/server", "seeded")
+}

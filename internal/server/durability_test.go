@@ -730,3 +730,94 @@ func TestDeleteStepHammer(t *testing.T) {
 	close(stop)
 	sweeper.Wait()
 }
+
+// faultyGetStore fails every Get, simulating a store whose backing file
+// went bad between requests.
+type faultyGetStore struct {
+	sessionstore.Store
+}
+
+func (s *faultyGetStore) Get(id int) (*core.SessionSnapshot, bool, error) {
+	return nil, false, fmt.Errorf("injected read fault")
+}
+
+// TestDeleteStoreReadFaultIs500 pins the handleDelete fix walcheck
+// surfaced: when the session is not in memory and the store read that
+// decides between 404 and restore fails, the client must see a 500.
+// Answering "no such session" on a store fault reports a durable record
+// gone while its bytes — and the delete obligation — still exist.
+func TestDeleteStoreReadFaultIs500(t *testing.T) {
+	_, ts := durableServer(t, &faultyGetStore{Store: sessionstore.NewMemStore()}, Options{})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/7", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("delete on a faulting store answered %d, want 500", resp.StatusCode)
+	}
+}
+
+// blockingShedStore parks every Shed until released, so a test can hold
+// the janitor mid-eviction at will.
+type blockingShedStore struct {
+	sessionstore.Store
+	started chan struct{} // closed when the first Shed begins
+	release chan struct{} // Shed returns once this closes
+	once    sync.Once
+}
+
+func (s *blockingShedStore) Shed(id int, snap *core.SessionSnapshot) error {
+	s.once.Do(func() { close(s.started) })
+	<-s.release
+	return s.Store.Shed(id, snap)
+}
+
+// TestCloseJoinsJanitor pins that Close waits for the janitor goroutine
+// to exit. Before the join, Close only signalled the stop channel, so a
+// caller tearing down the store right after Close could race a shed
+// still in flight inside EvictIdle.
+func TestCloseJoinsJanitor(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	var offset atomic.Int64
+	clock := func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	store := &blockingShedStore{
+		Store:   sessionstore.NewMemStore(),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	s, ts := durableServer(t, store, Options{
+		SessionTTL:      time.Minute,
+		JanitorInterval: time.Millisecond,
+		Clock:           clock,
+	})
+
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]string{"mode": "rp"})
+	if _, ok := created["id"]; !ok {
+		t.Fatal("create failed")
+	}
+	offset.Store(int64(2 * time.Minute)) // session is now idle-expired
+	select {
+	case <-store.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("janitor never started shedding")
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while the janitor was mid-shed")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(store.release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the shed finished")
+	}
+}

@@ -150,6 +150,7 @@ func (ri *routeInstruments) observe(d time.Duration, code int) {
 // slow step on one session never blocks the rest of the server. The
 // server's global mu guards only the sessions map and lastUsed.
 type sessionEntry struct {
+	//subdex:lockorder rank=20 per-session compute lock: taken after Server.mu (janitor TryLock), before any store append
 	mu   sync.Mutex // serializes computation on this session
 	sess *core.Session
 	// lastUsed is guarded by Server.mu (not entry.mu): the janitor reads
@@ -184,6 +185,7 @@ type Server struct {
 
 	store sessionstore.Store
 
+	//subdex:lockorder rank=10 outermost: guards the session map; held across store.Get during restore, so every store lock ranks above it
 	mu       sync.Mutex
 	sessions map[int]*sessionEntry
 	// deleting holds a refcount of in-flight DELETEs per session id,
@@ -196,6 +198,11 @@ type Server struct {
 
 	stopOnce sync.Once
 	stop     chan struct{}
+	// janitorDone is closed by the janitor goroutine on exit; nil when no
+	// janitor was started. Close blocks on it so that after Close returns
+	// no EvictIdle/Shed can still be running against a store the caller
+	// is about to tear down.
+	janitorDone chan struct{}
 }
 
 // New builds a server over a frozen database with no admission limits.
@@ -303,6 +310,7 @@ func NewWithOptionsCtx(ctx context.Context, db *dataset.DB, cfg core.Config, opt
 		}
 	}
 	if opts.SessionTTL > 0 {
+		s.janitorDone = make(chan struct{})
 		go s.janitor()
 	}
 	return s, nil
@@ -376,14 +384,20 @@ func (s *Server) flightTrigger(reason string) {
 	}
 }
 
-// Close stops the TTL janitor (if any). It does not tear down live
-// sessions; the process owns their lifetime from here.
+// Close stops the TTL janitor (if any) and waits for it to exit, so no
+// eviction or shed is still touching the session store once Close
+// returns. It does not tear down live sessions; the process owns their
+// lifetime from here.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
+	if s.janitorDone != nil {
+		<-s.janitorDone
+	}
 }
 
 // janitor periodically evicts idle sessions until Close.
 func (s *Server) janitor() {
+	defer close(s.janitorDone)
 	iv := s.opts.JanitorInterval
 	if iv <= 0 {
 		iv = s.opts.SessionTTL / 4
@@ -870,7 +884,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, id int) {
 	inStore := false
 	if s.store != nil && !ok {
 		// A shed session is still deletable: check the store before 404ing.
-		_, inStore, _ = s.store.Get(id)
+		// The read error must surface as a 500, not be folded into "absent":
+		// answering 404 on a store fault would tell the client the delete is
+		// moot while the durable record (and its tombstone obligation) still
+		// exists.
+		_, found, serr := s.store.Get(id)
+		if serr != nil {
+			writeError(w, http.StatusInternalServerError, "store read failed: "+serr.Error())
+			return
+		}
+		inStore = found
 	}
 	if !ok && !inStore {
 		writeError(w, http.StatusNotFound, "no such session")

@@ -55,6 +55,7 @@ type FileStore struct {
 	dir  string
 	path string
 
+	//subdex:lockorder rank=30 write head of the file-store ladder: taken before swapMu, statsMu, and the mirror's memState.mu
 	wmu sync.Mutex // serializes mirror+file mutation and compaction
 	// swapMu orders the post-wmu fsync against the compaction file swap:
 	// an appender takes it shared (before releasing wmu, so no swap can
@@ -63,11 +64,13 @@ type FileStore struct {
 	// concurrent compaction could close the file under an in-flight Sync,
 	// turning a durably-written record into a spurious fsync failure.
 	// Lock order is always wmu then swapMu.
+	//subdex:lockorder rank=40 acquired shared under wmu by appenders and exclusively by compaction before statsMu
 	swapMu           sync.RWMutex
 	f                *os.File
 	recsSinceCompact int
 	compactEvery     int
 
+	//subdex:lockorder rank=50 leaf of the write path; Stats holds it across the mirror's memState.mu only
 	statsMu  sync.Mutex
 	ins      Instruments
 	stats    Stats

@@ -107,6 +107,7 @@ type Stats struct {
 // (see apply in wal.go), which is what makes FileStore's replay provably
 // equivalent to the in-memory history.
 type memState struct {
+	//subdex:lockorder rank=60 innermost: the shared mirror's lock nests under every server and store lock and takes nothing itself
 	mu       sync.Mutex
 	sessions map[int]*core.SessionSnapshot
 	nextID   int
@@ -140,6 +141,7 @@ type MemStore struct {
 	st  *memState
 	ins Instruments
 
+	//subdex:lockorder rank=50 Stats holds it across the mirror's memState.mu, mirroring FileStore's ladder
 	statsMu sync.Mutex
 	stats   Stats
 }
