@@ -1,0 +1,391 @@
+// The distributed-engine soak (-cluster-soak): sdeload re-executes
+// itself as N scan-worker processes, runs the workload twice over the
+// same dataset — phase A against a plain single-process server, phase B
+// against a server whose engine scans are partitioned across the worker
+// fleet by a cluster coordinator — and byte-compares every user's
+// recorded walk across the phases. The proof obligations:
+//
+//   - Zero golden-trace divergence: distribution is a scheduling choice;
+//     a coordinator-backed server must answer byte-identically to a
+//     single process, step for step.
+//   - Digest-identical direct scans: the headline TopMaps digest of the
+//     whole-database group matches between a 1-thread local scan and the
+//     distributed scan, on every bench iteration.
+//   - Scan speedup: the distributed scan beats the single-thread scan
+//     (the cluster's reason to exist), asserted as an SLO row.
+//   - No partitions lost: the run was healthy, so anytime degradation
+//     never triggered (subdex_cluster_partitions_lost_total == 0).
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"time"
+
+	"subdex/internal/cluster"
+	"subdex/internal/core"
+	"subdex/internal/dataset"
+	"subdex/internal/engine"
+	"subdex/internal/obs"
+	"subdex/internal/query"
+	"subdex/internal/ratingmap"
+	"subdex/internal/server"
+	"subdex/internal/workload"
+)
+
+// clusterScanIters is how many timed TopMaps iterations each bench arm
+// runs; the minimum wins (steady-state, not cold-cache, is the claim).
+const clusterScanIters = 5
+
+// clusterReport is the benchReport section the cluster soak adds.
+type clusterReport struct {
+	Nodes int `json:"nodes"`
+	// CPUs is the host's core count — the speedup ceiling context: all
+	// soak processes share one machine, so an N-worker cluster cannot
+	// beat a local scan by more than the cores available (and cannot
+	// beat it at all on one core).
+	CPUs int `json:"cpus"`
+	// GoldenSteps is the number of byte-compared workload records across
+	// phase A and B; GoldenDivergences must be zero.
+	GoldenSteps       int `json:"golden_steps"`
+	GoldenDivergences int `json:"golden_divergences"`
+	// DigestsIdentical is true when every bench iteration's distributed
+	// TopMaps digest matched the single-thread scan's.
+	DigestsIdentical bool `json:"digests_identical"`
+	// SingleScanMs / ClusterScanMs are the best whole-database TopMaps
+	// times (PruneNone, so the scan dominates); ScanSpeedup is their
+	// ratio.
+	SingleScanMs  float64 `json:"single_scan_ms"`
+	ClusterScanMs float64 `json:"cluster_scan_ms"`
+	ScanSpeedup   float64 `json:"scan_speedup"`
+	// SingleNsPerStep / ClusterNsPerStep compare the two workload phases
+	// end to end (HTTP session steps, not raw scans).
+	SingleNsPerStep  float64 `json:"single_ns_per_step"`
+	ClusterNsPerStep float64 `json:"cluster_ns_per_step"`
+	// PartitionsLost comes from the coordinator registry after phase B.
+	PartitionsLost float64 `json:"partitions_lost"`
+	Retries        float64 `json:"cluster_retries"`
+}
+
+// runChildWorker is the hidden worker mode: build the dataset and serve
+// cluster partition scans until killed.
+func runChildWorker(o options) error {
+	db, err := buildDataset(o)
+	if err != nil {
+		return err
+	}
+	ex, err := core.NewExplorer(db, core.Config{})
+	if err != nil {
+		return err
+	}
+	w := cluster.NewWorker(ex, cluster.WorkerOptions{Registry: obs.NewRegistry()})
+	ln, err := net.Listen("tcp", o.childAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sdeload worker: serving %s scans on %s (fingerprint %s)\n",
+		db.Name, ln.Addr(), w.Fingerprint())
+	return (&http.Server{Handler: w.Handler(), ReadHeaderTimeout: 5 * time.Second}).Serve(ln)
+}
+
+// startWorker spawns this binary in cluster-worker mode and waits for
+// its health endpoint.
+func startWorker(ctx context.Context, exe string, o options, addr string) (string, *child, error) {
+	args := []string{
+		"-cluster-worker", "-child-addr", addr,
+		"-generate", o.generate,
+		"-scale", strconv.FormatFloat(o.scale, 'g', -1, 64),
+		"-seed", strconv.FormatInt(o.seed, 10),
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	base := "http://" + addr
+	if err := waitReady(ctx, base); err != nil {
+		c := &child{cmd: cmd}
+		c.kill()
+		return "", nil, fmt.Errorf("worker on %s never became ready: %w", addr, err)
+	}
+	return base, &child{cmd: cmd}, nil
+}
+
+// serveLocal hosts a server on a loopback listener for one phase.
+func serveLocal(srv *server.Server) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() { hs.Close(); srv.Close() }
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// runClusterSoak orchestrates the two phases, the scan bench, and the
+// assertions.
+func runClusterSoak(ctx context.Context, o options) error {
+	if o.target != "" {
+		return usageError{"-cluster-soak self-hosts its servers and cannot apply to an external -target"}
+	}
+	if o.duration > 0 {
+		return usageError{"-cluster-soak needs a fixed step budget for golden comparison; use -steps, not -duration"}
+	}
+	if o.faultEvery > 0 || o.stepTimeout > 0 {
+		return usageError{"-cluster-soak requires deterministic steps; drop -fault-every and -step-timeout"}
+	}
+	if o.clusterNodes < 1 {
+		return usageError{"-cluster-nodes must be at least 1"}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	sessMode, err := parseSessionMode(o.sessionMode)
+	if err != nil {
+		return err
+	}
+	mix, err := workload.ParseMix(o.mix)
+	if err != nil {
+		return usageError{err.Error()}
+	}
+	steps := o.steps
+	if steps <= 0 {
+		steps = 8
+	}
+	cfg := workload.Config{
+		Users: o.users, Seed: o.seed, StepsPerUser: steps,
+		Ramp: o.ramp, Think: o.think, Mix: mix, AutoLen: o.autoLen,
+		Mode: sessMode, Predicate: o.predicate,
+		Record: true, ExemplarK: o.exemplars,
+	}
+	db, err := buildDataset(o)
+	if err != nil {
+		return err
+	}
+
+	// Worker fleet: one child process per node, each holding its own
+	// frozen copy of the dataset.
+	fmt.Printf("cluster-soak: starting %d scan workers\n", o.clusterNodes)
+	workers := make([]string, o.clusterNodes)
+	for i := range workers {
+		addr, err := pickAddr()
+		if err != nil {
+			return err
+		}
+		base, c, err := startWorker(ctx, exe, o, addr)
+		if err != nil {
+			return err
+		}
+		defer c.kill()
+		workers[i] = base
+	}
+
+	// Phase A: plain single-process server.
+	fmt.Println("cluster-soak phase A: single-node baseline")
+	srvA, err := server.New(db, core.Config{})
+	if err != nil {
+		return err
+	}
+	baseA, stopA, err := serveLocal(srvA)
+	if err != nil {
+		srvA.Close()
+		return err
+	}
+	startA := time.Now()
+	resA, err := workload.Run(ctx, cfg, workload.HTTPFactory(baseA, nil, sessMode, o.predicate))
+	wallA := time.Since(startA)
+	stopA()
+	if err != nil {
+		return err
+	}
+	if fails := resA.Failures(); len(fails) != 0 {
+		return fmt.Errorf("baseline run failed: %d user(s), e.g. %q", len(fails), fails[0])
+	}
+
+	// Phase B: coordinator-backed server over the worker fleet, sharing
+	// one registry so the final scrape carries subdex_cluster_*.
+	fmt.Printf("cluster-soak phase B: coordinator over %d workers\n", o.clusterNodes)
+	reg := obs.NewRegistry()
+	coord, err := cluster.NewCoordinator(context.Background(), db, cluster.CoordinatorConfig{
+		Workers:  workers,
+		Registry: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	srvB, err := server.NewWithOptions(db, core.Config{Scanner: coord}, server.Options{Registry: reg})
+	if err != nil {
+		return err
+	}
+	baseB, stopB, err := serveLocal(srvB)
+	if err != nil {
+		srvB.Close()
+		return err
+	}
+	startB := time.Now()
+	resB, err := workload.Run(ctx, cfg, workload.HTTPFactory(baseB, nil, sessMode, o.predicate))
+	wallB := time.Since(startB)
+	if err != nil {
+		stopB()
+		return err
+	}
+	scrapeB, err := workload.FetchMetrics(ctx, nil, baseB+"/metrics")
+	stopB()
+	if err != nil {
+		return fmt.Errorf("phase B scrape: %w", err)
+	}
+	if fails := resB.Failures(); len(fails) != 0 {
+		return fmt.Errorf("cluster run failed: %d user(s), e.g. %q", len(fails), fails[0])
+	}
+
+	// Direct scan bench: whole-database group, every candidate key,
+	// PruneNone so the scan dominates. The single arm runs the local
+	// sharded scan at Workers=1 (one process, one thread — the honest
+	// "one node" baseline); the cluster arm fans the same scan across the
+	// worker fleet.
+	goldenSteps, divergences := compareGolden(resA, resB)
+	cr, err := clusterScanBench(ctx, db, coord, o.clusterNodes)
+	if err != nil {
+		return err
+	}
+	cr.GoldenSteps, cr.GoldenDivergences = goldenSteps, len(divergences)
+	if resA.Steps > 0 {
+		cr.SingleNsPerStep = float64(wallA.Nanoseconds()) / float64(resA.Steps)
+	}
+	if resB.Steps > 0 {
+		cr.ClusterNsPerStep = float64(wallB.Nanoseconds()) / float64(resB.Steps)
+	}
+	cr.PartitionsLost = scrapeB.Sum("subdex_cluster_partitions_lost_total")
+	cr.Retries = scrapeB.Sum("subdex_cluster_retries_total")
+
+	speedupMin := o.scanSpeedupMin
+	if speedupMin < 0 {
+		if runtime.NumCPU() > 1 {
+			speedupMin = 1.0
+		} else {
+			// One core: the worker fleet time-slices the same CPU the
+			// local scan uses, so a parallel speedup is physically
+			// unattainable and the assertion degrades to bounded
+			// distribution overhead.
+			speedupMin = 0.5
+			fmt.Println("cluster-soak: single-CPU host, asserting bounded overhead (speedup >= 0.5x) instead of parallel speedup")
+		}
+	}
+	rep := report(o, "cluster-soak", resB, scrapeB)
+	rep.Cluster = cr
+	rep.SLOChecks = append(rep.SLOChecks, clusterChecks(cr, speedupMin)...)
+	for _, c := range rep.SLOChecks {
+		rep.SLOPass = rep.SLOPass && c.Pass
+	}
+	render(os.Stdout, resB, rep)
+	if o.benchout != "" {
+		if err := writeBench(o.benchout, rep); err != nil {
+			return err
+		}
+	}
+	if len(divergences) > 0 {
+		max := len(divergences)
+		if max > 8 {
+			divergences = divergences[:8]
+		}
+		for _, d := range divergences {
+			fmt.Fprintln(os.Stderr, "golden divergence:", d)
+		}
+		return fmt.Errorf("distributed run diverged from single-node baseline in %d place(s)", max)
+	}
+	if !rep.SLOPass {
+		return fmt.Errorf("SLO breach: %s", describeBreaches(rep.SLOChecks))
+	}
+	fmt.Printf("cluster-soak pass: %d golden steps byte-identical across %d nodes, scan speedup %.2fx\n",
+		goldenSteps, o.clusterNodes, cr.ScanSpeedup)
+	return nil
+}
+
+// clusterScanBench times the whole-database TopMaps on both arms and
+// checks digest identity on every iteration.
+func clusterScanBench(ctx context.Context, db *dataset.DB, coord *cluster.Coordinator, nodes int) (*clusterReport, error) {
+	qe, err := query.NewEngine(db)
+	if err != nil {
+		return nil, err
+	}
+	group, err := qe.Materialize(query.Description{})
+	if err != nil {
+		return nil, err
+	}
+	gLocal := engine.NewGenerator(db)
+	keys := gLocal.Candidates(qe, query.Description{})
+	gDist := engine.NewGenerator(db)
+	gDist.Scanner = coord
+
+	cfg := engine.DefaultConfig()
+	cfg.Pruning = engine.PruneNone
+	cfg.Workers = 1 // single arm: one thread, the one-node baseline
+
+	cr := &clusterReport{Nodes: nodes, CPUs: runtime.NumCPU(), DigestsIdentical: true}
+	single, clustered := time.Duration(0), time.Duration(0)
+	for i := 0; i < clusterScanIters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		resL, err := gLocal.TopMaps(group, keys, ratingmap.NewSeenSet(), 6, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dL := time.Since(t0)
+		t0 = time.Now()
+		resD, err := gDist.TopMaps(group, keys, ratingmap.NewSeenSet(), 6, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dD := time.Since(t0)
+		if resD.Degraded {
+			return nil, fmt.Errorf("bench iteration %d: distributed scan degraded", i)
+		}
+		if ratingmap.DigestMaps(resL.Maps) != ratingmap.DigestMaps(resD.Maps) {
+			cr.DigestsIdentical = false
+		}
+		if i == 0 || dL < single {
+			single = dL
+		}
+		if i == 0 || dD < clustered {
+			clustered = dD
+		}
+	}
+	cr.SingleScanMs = float64(single.Microseconds()) / 1000
+	cr.ClusterScanMs = float64(clustered.Microseconds()) / 1000
+	if clustered > 0 {
+		cr.ScanSpeedup = float64(single) / float64(clustered)
+	}
+	return cr, nil
+}
+
+// clusterChecks renders the soak's objectives as SLO rows.
+func clusterChecks(cr *clusterReport, speedupMin float64) []sloCheck {
+	boolGot := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return []sloCheck{
+		{Name: "golden_divergences", Limit: 0, Got: float64(cr.GoldenDivergences),
+			Pass: cr.GoldenDivergences == 0},
+		{Name: "digests_identical", Limit: 1, Got: boolGot(cr.DigestsIdentical),
+			Pass: cr.DigestsIdentical},
+		{Name: "scan_speedup_min", Limit: speedupMin, Got: cr.ScanSpeedup,
+			Pass: cr.ScanSpeedup >= speedupMin},
+		{Name: "partitions_lost", Limit: 0, Got: cr.PartitionsLost,
+			Pass: cr.PartitionsLost == 0},
+	}
+}

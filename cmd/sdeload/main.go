@@ -88,8 +88,16 @@ func main() {
 		sessionDir = flag.String("session-dir", "",
 			"session store directory for -soak-kill (default: a temp dir, removed on pass, kept on failure)")
 
+		clusterSoak = flag.Bool("cluster-soak", false,
+			"run the distributed-engine soak: self-host -cluster-nodes scan-worker processes, drive the workload against a single-node server and a coordinator-backed one, and assert byte-identical golden traces, digest-identical scans, and the scan speedup")
+		clusterNodes = flag.Int("cluster-nodes", 3,
+			"worker process count for -cluster-soak")
+		scanSpeedupMin = flag.Float64("scan-speedup-min", -1,
+			"fail -cluster-soak if the distributed whole-database scan is not at least this many times faster than the single-thread scan (negative = auto: 1.0 on multi-core hosts; 0.5 on a single-core host, where parallel speedup is unattainable and the assertion degrades to bounded overhead)")
+
 		childServe = flag.Bool("child-serve", false, "internal: serve as the -soak-kill child server process")
-		childAddr  = flag.String("child-addr", "", "internal: -child-serve listen address")
+		childAddr  = flag.String("child-addr", "", "internal: child listen address (-child-serve and -cluster-worker)")
+		childWork  = flag.Bool("cluster-worker", false, "internal: serve as a -cluster-soak scan-worker process")
 	)
 	flag.Parse()
 	if err := run(context.Background(), options{
@@ -105,6 +113,8 @@ func main() {
 		benchout: *benchout, flightDir: *flightDir, exemplars: *exemplars,
 		soakKill: *soakKill, killFrac: *killFrac, walOverhead: *walOverhead,
 		sessionDir: *sessionDir, childServe: *childServe, childAddr: *childAddr,
+		clusterSoak: *clusterSoak, clusterNodes: *clusterNodes,
+		scanSpeedupMin: *scanSpeedupMin, clusterWorker: *childWork,
 	}); err != nil {
 		code := 1
 		var ue usageError
@@ -165,6 +175,11 @@ type options struct {
 	sessionDir  string
 	childServe  bool
 	childAddr   string
+
+	clusterSoak    bool
+	clusterNodes   int
+	scanSpeedupMin float64
+	clusterWorker  bool
 }
 
 // benchReport is the BENCH_serving.json artifact.
@@ -208,6 +223,10 @@ type benchReport struct {
 	// runs only).
 	Recovery *recoveryReport `json:"recovery,omitempty"`
 
+	// Cluster is the distributed-engine soak's extra section
+	// (-cluster-soak runs only).
+	Cluster *clusterReport `json:"cluster,omitempty"`
+
 	// Version, Commit, and GoVersion identify the binary that produced
 	// the artifact (mirroring the subdex_build_info gauge).
 	Version   string `json:"version"`
@@ -227,8 +246,14 @@ func run(ctx context.Context, o options) error {
 	if o.childServe {
 		return runChildServe(o)
 	}
+	if o.clusterWorker {
+		return runChildWorker(o)
+	}
 	if o.soakKill {
 		return runSoakKill(ctx, o)
+	}
+	if o.clusterSoak {
+		return runClusterSoak(ctx, o)
 	}
 	sessMode, err := parseSessionMode(o.sessionMode)
 	if err != nil {

@@ -47,12 +47,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"subdex"
+	"subdex/internal/cluster"
 	"subdex/internal/dataset"
 	"subdex/internal/gen"
+	"subdex/internal/obs"
 	"subdex/internal/server"
 	"subdex/internal/sessionstore"
 )
@@ -80,6 +83,15 @@ func main() {
 			"directory for flight-recorder dumps on 5xx responses and degraded steps; the live ring is always served at /debug/flightrecorder (empty = dumps disabled)")
 		sessionDir = flag.String("session-dir", "",
 			"directory for the durable session store (write-ahead log + snapshots); on boot every stored session is replayed through the engine and resumed exactly, and idle sessions are shed here instead of destroyed (empty = sessions are process-lifetime only)")
+
+		clusterWorkers = flag.String("cluster-workers", "",
+			"comma-separated subdexworker base URLs; when set, engine scans are partitioned across the workers and merged deterministically (bit-identical to single-node), with lost partitions degrading to anytime results")
+		clusterPartitions = flag.Int("cluster-partitions", 0,
+			"scan partitions per cluster scan (0 = one per worker)")
+		clusterTimeout = flag.Duration("cluster-timeout", 0,
+			"per-partition worker RPC deadline (0 = coordinator default)")
+		clusterRetries = flag.Int("cluster-retries", 0,
+			"retry attempts per partition on other workers (0 = coordinator default: workers-1)")
 	)
 	flag.Parse()
 
@@ -109,11 +121,39 @@ func main() {
 		}
 		store = fs
 	}
+	// With -cluster-workers, engine scans run distributed: a coordinator
+	// partitions record ranges across the workers and merges their
+	// checksummed partial frames in deterministic partition order. The
+	// coordinator and server share one registry so a single /metrics
+	// scrape covers subdex_cluster_* and the HTTP surface.
+	var reg *obs.Registry
+	if *clusterWorkers != "" {
+		reg = obs.NewRegistry()
+		workers := strings.Split(*clusterWorkers, ",")
+		for i := range workers {
+			workers[i] = strings.TrimSpace(workers[i])
+		}
+		coord, err := cluster.NewCoordinator(context.Background(), db, cluster.CoordinatorConfig{
+			Workers:          workers,
+			Partitions:       *clusterPartitions,
+			PartitionTimeout: *clusterTimeout,
+			Retries:          *clusterRetries,
+			Registry:         reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "subdexd:", err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		cfg.Scanner = coord
+		fmt.Printf("subdexd: distributed scans across %d workers\n", len(workers))
+	}
 	srv, err := server.NewWithOptions(db, cfg, server.Options{
 		MaxSessions: *maxSessions,
 		SessionTTL:  *sessionTTL,
 		FlightDir:   *flightDir,
 		Store:       store,
+		Registry:    reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "subdexd:", err)

@@ -1,0 +1,152 @@
+// Command subdexworker serves cluster partition scans over one frozen
+// copy of a dataset — the worker half of the distributed engine. A
+// coordinator-enabled subdexd (see its -cluster-workers flag) ships
+// record ranges here and merges the checksummed partial-accumulator
+// frames deterministically, so a 3-node cluster answers bit-identically
+// to a single process.
+//
+//	subdexworker -generate yelp -scale 0.05 -seed 7 -addr :9101
+//
+// The worker must be configured identically to the coordinator —
+// same dataset flags, same -k/-o/-l — because both sides compare
+// engine-config fingerprints and refuse to mix (409 on mismatch).
+// The worker prints its fingerprint at boot for eyeballing.
+//
+// Surface: POST /cluster/scan, GET /healthz, GET /metrics
+// (subdex_cluster_worker_*), and with -debug-addr a private pprof
+// listener. Shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"subdex"
+	"subdex/internal/cluster"
+	"subdex/internal/core"
+	"subdex/internal/dataset"
+	"subdex/internal/gen"
+	"subdex/internal/obs"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "CSV directory written by datagen")
+		generate = flag.String("generate", "", "generate a synthetic dataset: demo | movielens | yelp | hotels")
+		scale    = flag.Float64("scale", 0.05, "scale for -generate")
+		seed     = flag.Int64("seed", 1, "seed for -generate")
+		addr     = flag.String("addr", ":9101", "listen address")
+		k        = flag.Int("k", 3, "rating maps per step (must match the coordinator)")
+		o        = flag.Int("o", 3, "recommendations per step (must match the coordinator)")
+		l        = flag.Int("l", 3, "pruning-diversity factor (must match the coordinator)")
+		scanW    = flag.Int("scan-workers", runtime.NumCPU(), "sharded-scan parallelism per request")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		drain    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	db, err := loadDB(*data, *generate, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subdexworker:", err)
+		os.Exit(1)
+	}
+	cfg := subdex.DefaultConfig()
+	cfg.K, cfg.O, cfg.L = *k, *o, *l
+	ex, err := core.NewExplorer(db, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subdexworker:", err)
+		os.Exit(1)
+	}
+	reg := obs.NewRegistry()
+	worker := cluster.NewWorker(ex, cluster.WorkerOptions{
+		Registry:    reg,
+		ScanWorkers: *scanW,
+	})
+	s := db.Stats()
+	fmt.Printf("subdexworker: serving %s (%d ratings) on %s\n", s.Name, s.NumRatings, *addr)
+	fmt.Printf("subdexworker: engine fingerprint %s\n", worker.Fingerprint())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           worker.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 2)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	var debugSrv *http.Server
+	if *debug != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugSrv = &http.Server{Addr: *debug, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		fmt.Printf("subdexworker: pprof on http://%s/debug/pprof/\n", *debug)
+		go func() {
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errCh <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("subdexworker: shutdown signal received, draining...")
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "subdexworker:", err)
+		os.Exit(1)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "subdexworker: shutdown:", err)
+		os.Exit(1)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
+	}
+	fmt.Println("subdexworker: bye")
+}
+
+func loadDB(data, generate string, scale float64, seed int64) (*subdex.DB, error) {
+	switch {
+	case data != "":
+		kinds := map[string]dataset.Kind{
+			"genre": dataset.MultiValued, "cuisine": dataset.MultiValued,
+			"amenity": dataset.MultiValued,
+		}
+		return subdex.LoadDir(data, "loaded", kinds)
+	case generate != "":
+		cfg := gen.Config{Seed: seed, Scale: scale}
+		switch generate {
+		case "demo":
+			return gen.Demo(cfg)
+		case "movielens":
+			return gen.Movielens(cfg)
+		case "yelp":
+			return gen.Yelp(cfg)
+		case "hotels":
+			return gen.Hotels(cfg)
+		}
+		return nil, fmt.Errorf("unknown dataset %q", generate)
+	default:
+		return nil, fmt.Errorf("one of -data or -generate is required")
+	}
+}

@@ -1,0 +1,56 @@
+// Record-range coding for scan requests: the coordinator ships the
+// exact record positions each partition must fold, delta-varint coded
+// (record lists are sorted non-decreasing, so deltas are small and the
+// coding stays near one byte per record). Shipping positions instead of
+// a (selection, range) pair keeps the worker selection-free and makes
+// sampled recommendation groups exact for free.
+
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// maxWireRecords bounds one partition's decoded record list.
+const maxWireRecords = 1 << 26
+
+// encodeRecords delta-varint codes a non-decreasing record position list.
+func encodeRecords(records []int32) []byte {
+	buf := make([]byte, 0, len(records)+8)
+	prev := int32(0)
+	for _, r := range records {
+		buf = binary.AppendUvarint(buf, uint64(r-prev))
+		prev = r
+	}
+	return buf
+}
+
+// decodeRecords reverses encodeRecords, validating the claimed count and
+// that every position lies inside [0, max).
+func decodeRecords(data []byte, count, max int) ([]int32, error) {
+	if count < 0 || count > maxWireRecords {
+		return nil, fmt.Errorf("record count %d out of range", count)
+	}
+	out := make([]int32, 0, count)
+	prev := int64(0)
+	for off := 0; off < len(data); {
+		d, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("truncated or overflowing delta at offset %d", off)
+		}
+		off += n
+		prev += int64(d)
+		if prev >= int64(max) {
+			return nil, fmt.Errorf("record position %d outside dataset (%d records)", prev, max)
+		}
+		if len(out) == count {
+			return nil, fmt.Errorf("more than the claimed %d records", count)
+		}
+		out = append(out, int32(prev))
+	}
+	if len(out) != count {
+		return nil, fmt.Errorf("decoded %d records, claimed %d", len(out), count)
+	}
+	return out, nil
+}

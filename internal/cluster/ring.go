@@ -1,0 +1,82 @@
+// Consistent-hash ring for the front-tier session router. Virtual nodes
+// (FNV-1a 64 over "node#replica") smooth the key distribution; lookups
+// binary-search the sorted point list and wrap. Determinism matters more
+// than hash quality here: the same key must route to the same backend on
+// every router process, so points are ordered by (hash, node) with no
+// process-local state.
+
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultRingReplicas is the virtual-node count per backend.
+const defaultRingReplicas = 64
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// Ring is an immutable consistent-hash ring over backend indices.
+type Ring struct {
+	nodes  []string
+	points []ringPoint
+}
+
+// NewRing builds a ring with the given virtual-node count per backend
+// (≤ 0 selects the default).
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultRingReplicas
+	}
+	r := &Ring{nodes: append([]string(nil), nodes...)}
+	for i, n := range r.nodes {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(n + "#" + strconv.Itoa(v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a diffuses poorly over short, similar keys ("node#0",
+	// "node#1", …), which clusters ring points and skews ownership; a
+	// splitmix64-style finisher avalanches the bits. Still a pure
+	// function of the key, so cross-process determinism holds.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Lookup returns the backend index owning key (the first ring point at
+// or after the key's hash, wrapping), or -1 on an empty ring.
+func (r *Ring) Lookup(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the backend list the ring was built over.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return nodes
+}
+
+// TestRingDeterministic: two rings over the same nodes must agree on
+// every key — cross-process routing stability is the whole point.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(ringNodes(5), 0)
+	b := NewRing(ringNodes(5), 0)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("session-key-%d", i)
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("rings disagree on %q", key)
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, no backend should own a
+// wildly disproportionate share of keys.
+func TestRingDistribution(t *testing.T) {
+	const keys = 10000
+	r := NewRing(ringNodes(4), 0)
+	counts := make([]int, 4)
+	for i := 0; i < keys; i++ {
+		n := r.Lookup(fmt.Sprintf("user-%d", i))
+		if n < 0 || n >= 4 {
+			t.Fatalf("Lookup out of range: %d", n)
+		}
+		counts[n]++
+	}
+	for node, c := range counts {
+		// Fair share is 2500; accept [1000, 4500] — loose on purpose,
+		// this guards against degenerate all-on-one-node hashing, not
+		// perfect balance.
+		if c < keys/10 || c > keys*45/100 {
+			t.Fatalf("node %d owns %d of %d keys: distribution degenerate (%v)", node, c, keys, counts)
+		}
+	}
+}
+
+// TestRingMinimalRemap: adding a backend must move only a minority of
+// keys — the property that makes the hash "consistent".
+func TestRingMinimalRemap(t *testing.T) {
+	const keys = 10000
+	before := NewRing(ringNodes(4), 0)
+	after := NewRing(ringNodes(5), 0) // same first 4 nodes + one more
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		if before.Lookup(key) != after.Lookup(key) {
+			moved++
+		}
+	}
+	// Ideal is keys/5 = 2000; modulo hashing would move ~8000.
+	if moved > keys*40/100 {
+		t.Fatalf("adding one node moved %d of %d keys — not consistent hashing", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("adding a node moved nothing — the new node owns no keys")
+	}
+}
+
+// TestRingEdges pins empty-ring and single-node behavior.
+func TestRingEdges(t *testing.T) {
+	if got := NewRing(nil, 0).Lookup("x"); got != -1 {
+		t.Fatalf("empty ring Lookup = %d, want -1", got)
+	}
+	one := NewRing(ringNodes(1), 3)
+	for _, key := range []string{"", "a", "zzz"} {
+		if got := one.Lookup(key); got != 0 {
+			t.Fatalf("single-node ring Lookup(%q) = %d, want 0", key, got)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Front-tier session router: a thin stdlib reverse proxy that pins each
+// session to one backend subdexd process by consistent hashing, so a
+// fleet of session-owning servers scales horizontally without sharing
+// session state.
+//
+// Sessions are identified by small integers on every backend, so the
+// router namespaces them arithmetically: a session created on backend b
+// (of n) with local id l is exposed as global id l*n + b. The mapping is
+// stateless and bijective — any router instance (or a restarted one)
+// decodes any global id to its backend without coordination.
+//
+// Creation is routed by consistent hash of the client-supplied
+// X-Subdex-Session-Key header (falling back to a router-local sequence
+// — the fallback only balances load, it does not promise cross-router
+// affinity, which the id itself provides from then on).
+
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"subdex/internal/obs"
+)
+
+// sessionKeyHeader lets clients pin session placement (e.g. a user id):
+// equal keys land on the same backend on every router.
+const sessionKeyHeader = "X-Subdex-Session-Key"
+
+// RouterOptions configures NewRouter.
+type RouterOptions struct {
+	// Replicas is the ring's virtual-node count per backend (≤ 0 default).
+	Replicas int
+	// Registry receives subdex_cluster_router_* instruments.
+	Registry *obs.Registry
+}
+
+// Router proxies the server API across n session-owning backends.
+type Router struct {
+	backends []string
+	ring     *Ring
+	proxies  []*httputil.ReverseProxy
+	m        *RouterMetrics
+	seq      atomic.Uint64
+}
+
+// NewRouter builds a router over backend base URLs ("http://host:port").
+func NewRouter(backends []string, opts RouterOptions) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one backend")
+	}
+	rt := &Router{
+		backends: append([]string(nil), backends...),
+		ring:     NewRing(backends, opts.Replicas),
+		m:        NewRouterMetrics(opts.Registry),
+	}
+	n := len(rt.backends)
+	for b, raw := range rt.backends {
+		target, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: backend %q: %w", raw, err)
+		}
+		p := httputil.NewSingleHostReverseProxy(target)
+		b := b
+		p.ModifyResponse = func(resp *http.Response) error {
+			// Only session creation answers with a backend-local id.
+			if resp.Request.Method != http.MethodPost || resp.Request.URL.Path != "/sessions" ||
+				resp.StatusCode != http.StatusCreated {
+				return nil
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			var fields map[string]json.RawMessage
+			if err := json.Unmarshal(body, &fields); err != nil {
+				return fmt.Errorf("cluster: create response not JSON: %w", err)
+			}
+			var local int
+			if err := json.Unmarshal(fields["id"], &local); err != nil {
+				return fmt.Errorf("cluster: create response id: %w", err)
+			}
+			fields["id"] = json.RawMessage(strconv.Itoa(local*n + b))
+			out, err := json.Marshal(fields)
+			if err != nil {
+				return err
+			}
+			resp.Body = io.NopCloser(bytes.NewReader(out))
+			resp.ContentLength = int64(len(out))
+			resp.Header.Set("Content-Length", strconv.Itoa(len(out)))
+			return nil
+		}
+		errs := rt.m // capture once; ErrorHandler runs per request
+		p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			errs.addProxyError()
+			http.Error(w, fmt.Sprintf("backend unavailable: %v", err), http.StatusBadGateway)
+		}
+		rt.proxies = append(rt.proxies, p)
+	}
+	return rt, nil
+}
+
+// Backends reports the backend list.
+func (rt *Router) Backends() []string { return append([]string(nil), rt.backends...) }
+
+// Handler returns the router's HTTP surface: the full server API, with
+// /sessions fan-out by consistent hash, /sessions/{id} pinned by the id
+// namespace, and everything else (healthz, metrics, debug) served by a
+// stable ring-chosen backend.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := len(rt.backends)
+		switch {
+		case r.URL.Path == "/sessions":
+			key := r.Header.Get(sessionKeyHeader)
+			if key == "" {
+				key = "seq-" + strconv.FormatUint(rt.seq.Add(1), 10)
+			}
+			rt.forward(w, r, rt.ring.Lookup(key))
+		case strings.HasPrefix(r.URL.Path, "/sessions/"):
+			rest := strings.TrimPrefix(r.URL.Path, "/sessions/")
+			idPart, tail, _ := strings.Cut(rest, "/")
+			global, err := strconv.Atoi(idPart)
+			if err != nil || global < n {
+				// No backend can own a global id below n (local ids start
+				// at 1, so the smallest global id is 1*n+0 = n).
+				rt.m.addProxyError()
+				http.Error(w, "unknown session", http.StatusNotFound)
+				return
+			}
+			backend := global % n
+			local := global / n
+			r2 := r.Clone(r.Context())
+			r2.URL.Path = "/sessions/" + strconv.Itoa(local)
+			if tail != "" {
+				r2.URL.Path += "/" + tail
+			}
+			rt.forward(w, r2, backend)
+		default:
+			rt.forward(w, r, rt.ring.Lookup(r.URL.Path))
+		}
+	})
+}
+
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, backend int) {
+	if backend < 0 || backend >= len(rt.proxies) {
+		rt.m.addProxyError()
+		http.Error(w, "no backend", http.StatusBadGateway)
+		return
+	}
+	rt.m.addProxied()
+	rt.proxies[backend].ServeHTTP(w, r)
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"subdex/internal/core"
+	"subdex/internal/gen"
+	"subdex/internal/server"
+)
+
+// testRouter boots n real session-owning servers over one demo dataset
+// and a router in front of them; returns the router's base URL.
+func testRouter(t *testing.T, n int) (string, *Router) {
+	t.Helper()
+	db := buildDB(t, gen.Demo, gen.Config{Seed: 1, Scale: 1})
+	backends := make([]string, n)
+	for i := 0; i < n; i++ {
+		s, err := server.New(db, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		srv := httptest.NewServer(s.Handler())
+		t.Cleanup(srv.Close)
+		backends[i] = srv.URL
+	}
+	rt, err := NewRouter(backends, RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return front.URL, rt
+}
+
+func createSession(t *testing.T, base, key string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/sessions",
+		bytes.NewReader([]byte(`{"mode":"rp"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(sessionKeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	var body struct {
+		ID   int    `json:"id"`
+		Mode string `json:"mode"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Mode == "" {
+		t.Fatal("create response lost its mode field in the id rewrite")
+	}
+	return body.ID
+}
+
+// TestRouterSessionLifecycle creates, steps, and deletes sessions
+// through the router across 3 backends: every global id must route back
+// to the backend that owns the session.
+func TestRouterSessionLifecycle(t *testing.T) {
+	base, _ := testRouter(t, 3)
+
+	ids := make([]int, 0, 9)
+	seen := make(map[int]bool)
+	for i := 0; i < 9; i++ {
+		id := createSession(t, base, fmt.Sprintf("user-%d", i))
+		if seen[id] {
+			t.Fatalf("duplicate global session id %d — namespacing broken", id)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	// Every session must be steppable via its global id, no matter which
+	// backend owns it.
+	for _, id := range ids {
+		resp, err := http.Get(fmt.Sprintf("%s/sessions/%d/step", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step session %d: status %d", id, resp.StatusCode)
+		}
+	}
+	// Delete them all; a second delete answers 404 from the owning
+	// backend, proving the route is stable.
+	for _, id := range ids {
+		for attempt, want := range []int{http.StatusOK, http.StatusNotFound} {
+			req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", base, id), nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != want {
+				t.Fatalf("delete %d attempt %d: status %d, want %d", id, attempt, resp.StatusCode, want)
+			}
+		}
+	}
+}
+
+// TestRouterKeyAffinity: equal session keys must land on the same
+// backend (global ids congruent mod n); the ids remain distinct.
+func TestRouterKeyAffinity(t *testing.T) {
+	base, rt := testRouter(t, 3)
+	n := len(rt.Backends())
+	a := createSession(t, base, "alice")
+	b := createSession(t, base, "alice")
+	if a%n != b%n {
+		t.Fatalf("same key routed to backends %d and %d", a%n, b%n)
+	}
+	if a == b {
+		t.Fatalf("two sessions share global id %d", a)
+	}
+}
+
+// TestRouterRejectsForeignIDs: global ids below n decode to no backend
+// and must 404 at the router without touching a backend.
+func TestRouterRejectsForeignIDs(t *testing.T) {
+	base, rt := testRouter(t, 3)
+	n := len(rt.Backends())
+	for id := -1; id < n; id++ {
+		resp, err := http.Get(fmt.Sprintf("%s/sessions/%d/step", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("id %d: status %d, want 404", id, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(base + "/sessions/not-a-number/step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("non-numeric id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRouterPassthrough: non-session paths are served by a ring-chosen
+// backend — healthz must answer through the router.
+func TestRouterPassthrough(t *testing.T) {
+	base, _ := testRouter(t, 2)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz via router: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestRouterBackendDown: a dead backend answers 502 through the proxy's
+// error handler, not a hang or a panic.
+func TestRouterBackendDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	rt, err := NewRouter([]string{dead.URL}, RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err := http.Post(front.URL+"/sessions", "application/json",
+		bytes.NewReader([]byte(`{"mode":"rp"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dead backend: status %d, want 502", resp.StatusCode)
+	}
+}

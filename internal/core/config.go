@@ -65,6 +65,16 @@ type Config struct {
 	// disables). Candidate-operation evaluation revisits many selections;
 	// the cache trades memory for repeated scans (cf. Data Canopy [57]).
 	GroupCacheRecords int
+	// Scanner, when non-nil, makes the RM-Generator scan record ranges
+	// through a distributed backend (internal/cluster's coordinator)
+	// instead of this process's sharded scan — bit-identical results by
+	// Merge associativity, degraded anytime results on partition loss.
+	// A scheduling knob like Engine.Workers: deliberately excluded from
+	// the engine-config fingerprint, so a coordinator and its workers
+	// (which run scanner-less) agree on fingerprints. NewExplorer binds
+	// the explorer's fingerprint to the scanner when it exposes
+	// BindFingerprint(string), arming the mixed-version cluster guard.
+	Scanner engine.RangeScanner
 	// EngineCacheRecords budgets the RM-Generator's cross-step
 	// accumulator cache (total cached record count; 0 selects the
 	// default, negative disables). Sessions thread this cache across

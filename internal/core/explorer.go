@@ -47,7 +47,15 @@ func NewExplorer(db *dataset.DB, cfg Config) (*Explorer, error) {
 	if cfg.EngineCacheRecords > 0 {
 		gen.Cache = engine.NewTopMapsCache(cfg.EngineCacheRecords)
 	}
-	return &Explorer{DB: db, Query: qe, Gen: gen, Cfg: cfg}, nil
+	gen.Scanner = cfg.Scanner
+	ex := &Explorer{DB: db, Query: qe, Gen: gen, Cfg: cfg}
+	// Arm the distributed scanner's mixed-version guard: every worker
+	// RPC carries this fingerprint and workers refuse ranges scanned
+	// under a different engine configuration or dataset.
+	if b, ok := cfg.Scanner.(interface{ BindFingerprint(string) }); ok {
+		b.BindFingerprint(ex.Fingerprint())
+	}
+	return ex, nil
 }
 
 // EngineCacheStats snapshots the RM-Generator's cross-step accumulator

@@ -148,6 +148,15 @@ type Generator struct {
 	// across TopMaps calls (see TopMapsCache). Safe for concurrent use;
 	// all sessions of one explorer share it.
 	Cache *TopMapsCache
+	// Scanner, when non-nil, replaces the local sharded scan with a
+	// distributed one (see RangeScanner and internal/cluster): every
+	// record range TopMaps would fold locally is partitioned across
+	// worker processes and the partial accumulators merged back in
+	// partition order — bit-identical by Merge associativity. A lost
+	// partition degrades the call to the same anytime semantics a
+	// deadline does. Scheduling-only, like Workers: deliberately
+	// excluded from the engine-config fingerprint.
+	Scanner RangeScanner
 }
 
 // NewGenerator wraps a frozen database.
@@ -296,11 +305,28 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 		if err := ctx.Err(); err != nil {
 			return nil, err // nothing processed yet: fail, don't degrade
 		}
-		prof.noteShards(g.accumulate(acc, group.Records, cfg.Workers, cfg.ShardMinRecords))
-		res.RecordsProcessed = n
+		folded, lost, err := g.scanRange(ctx, acc, group, 0, n, cfg, prof)
+		if err != nil {
+			return nil, err
+		}
+		if lost && folded == 0 {
+			return nil, fmt.Errorf("engine: distributed scan lost every partition")
+		}
+		res.RecordsProcessed = folded
+		if lost {
+			// Same anytime contract as a deadline: the merged partition
+			// prefix is a consistent record prefix, so finalize it
+			// (detached below) instead of failing the step.
+			res.Degraded = true
+			prof.DegradedReason = "partition_lost"
+		}
 		g.maybeCache(key, acc, res, n)
+		fctx := ctx
+		if res.Degraded {
+			fctx = context.WithoutCancel(ctx)
+		}
 		fstart := time.Now()
-		g.finalize(ctx, acc, seen, kPrime, cfg, res)
+		g.finalize(fctx, acc, seen, kPrime, cfg, res)
 		prof.FinalizeMS = msSince(fstart)
 		return res, nil
 	}
@@ -364,8 +390,25 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 				PrunedMAB:  res.PrunedMAB - mabBefore,
 			})
 		}
-		prof.noteShards(g.accumulate(acc, group.Records[lo:hi], cfg.Workers, cfg.ShardMinRecords))
-		processed = hi
+		folded, lostPart, err := g.scanRange(ctx, acc, group, lo, hi, cfg, prof)
+		if err != nil {
+			endPhase()
+			return nil, err
+		}
+		processed += folded
+		if lostPart {
+			// A partition lost mid-phase leaves a consistent prefix
+			// shorter than the phase boundary: degrade exactly as a
+			// deadline at this point would.
+			if processed == 0 {
+				endPhase()
+				return nil, fmt.Errorf("engine: distributed scan lost every partition")
+			}
+			res.Degraded = true
+			prof.DegradedReason = "partition_lost"
+			endPhase()
+			break
+		}
 		if phase == cfg.Phases-1 {
 			endPhase()
 			break // nothing to prune after the last fraction; finalize below
@@ -435,8 +478,17 @@ func (g *Generator) TopMapsCtx(ctx context.Context, group *query.RatingGroup, ca
 				lo := p * n / cfg.Phases
 				hi := (p + 1) * n / cfg.Phases
 				if lo < hi {
-					prof.noteShards(g.accumulate(acc, group.Records[lo:hi], cfg.Workers, cfg.ShardMinRecords))
-					processed = hi
+					folded, lostPart, err := g.scanRange(ctx, acc, group, lo, hi, cfg, prof)
+					if err != nil {
+						endPhase()
+						return nil, err
+					}
+					processed += folded
+					if lostPart {
+						res.Degraded = true
+						prof.DegradedReason = "partition_lost"
+						break
+					}
 				}
 			}
 			endPhase()

@@ -58,13 +58,22 @@ type Profile struct {
 	GroupRecords int `json:"group_records"`
 	// Phases details each executed phase (empty on unphased paths).
 	Phases []PhaseProfile `json:"phases,omitempty"`
+	// Cluster details every partition of every distributed scan the call
+	// issued (empty without a Generator.Scanner): per-worker scan and
+	// RPC timings, attempts, and lost partitions.
+	Cluster []PartitionProfile `json:"cluster,omitempty"`
+	// ClusterMergeMS is the total coordinator-side time merging partial
+	// accumulators shipped back by workers.
+	ClusterMergeMS float64 `json:"cluster_merge_ms,omitempty"`
 	// FinalizeMS is the final scoring-and-ranking pass's wall time.
 	FinalizeMS float64 `json:"finalize_ms"`
 	// TotalMS is the whole call's wall time.
 	TotalMS float64 `json:"total_ms"`
 	// DegradedReason says where the deadline cut a degraded run:
 	// "deadline_at_phase_boundary", "deadline_mid_estimate",
-	// "deadline_mid_tail_scan", or "deadline_mid_finalize".
+	// "deadline_mid_tail_scan", "deadline_mid_finalize", or
+	// "partition_lost" when a distributed scan dropped a partition after
+	// exhausting its retry budget.
 	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 

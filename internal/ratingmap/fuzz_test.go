@@ -18,7 +18,7 @@ var fuzzDB = struct {
 	keys []Key
 }{}
 
-func fuzzFixture(f *testing.F) (*dataset.DB, []Key) {
+func fuzzFixture(tb testing.TB) (*dataset.DB, []Key) {
 	fuzzDB.once.Do(func() {
 		rs, _ := dataset.NewSchema(
 			dataset.Attribute{Name: "gender"},

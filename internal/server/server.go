@@ -78,6 +78,11 @@ type Options struct {
 	// FlightMinInterval overrides the per-reason dump rate limit
 	// (default 30s).
 	FlightMinInterval time.Duration
+	// Registry, when non-nil, receives the server's instruments instead
+	// of a private registry — subdexd shares one registry between the
+	// server and the cluster coordinator so a single /metrics scrape
+	// covers both.
+	Registry *obs.Registry
 	// Store makes sessions durable: every committed operation is logged
 	// to it before the response is sent, idle sessions are shed to it
 	// (and transparently restored on their next request) instead of
@@ -232,7 +237,10 @@ func NewWithOptionsCtx(ctx context.Context, db *dataset.DB, cfg core.Config, opt
 	if err != nil {
 		return nil, err
 	}
-	reg := obs.NewRegistry()
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ex.Instrument(reg)
 	now := opts.Clock
 	if now == nil {
